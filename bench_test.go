@@ -1,0 +1,318 @@
+package incgraph
+
+// Benchmarks regenerating the paper's evaluation as testing.B targets, one
+// family per table/figure (see DESIGN.md's experiment index). Each
+// incremental benchmark measures a round trip — Apply(ΔG) followed by
+// Apply(ΔG⁻¹) — so every iteration does identical work and the graph ends
+// each iteration in its starting state; halve ns/op for a single
+// direction. The cmd/incbench harness reports the paper-shaped repair-only
+// numbers; these targets provide stable, repeatable cells via:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"incgraph/internal/cc"
+	"incgraph/internal/dfs"
+	"incgraph/internal/gen"
+	"incgraph/internal/graph"
+	"incgraph/internal/lcc"
+	"incgraph/internal/sim"
+	"incgraph/internal/sssp"
+)
+
+// benchScale shrinks the stand-ins so `go test -bench=.` stays in minutes;
+// use cmd/incbench for the full-scale tables.
+const benchScale = 0.25
+
+func benchGraph(b *testing.B, name string, directed bool) *graph.Graph {
+	b.Helper()
+	d, err := gen.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.Directed = directed
+	return d.Build(1, benchScale)
+}
+
+func deltaOf(g *graph.Graph, percent float64) graph.Batch {
+	n := int(percent / 100 * float64(g.Size()))
+	if n < 1 {
+		n = 1
+	}
+	return gen.RandomUpdates(newRNG(7), g, n, 0.5)
+}
+
+type batchApplier interface{ Apply(graph.Batch) int }
+
+// roundTrip drives b.N apply/undo cycles of delta through m.
+func roundTrip(b *testing.B, m batchApplier, delta graph.Batch) {
+	b.Helper()
+	inv := delta.Inverse()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Apply(delta)
+		m.Apply(inv)
+	}
+}
+
+// --- Table 1: batch vs deduced at |ΔG| = 4% ---
+
+func BenchmarkTable1BatchDijkstra(b *testing.B) {
+	g := benchGraph(b, "TW", true)
+	g.Apply(deltaOf(g, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sssp.Dijkstra(g, 0)
+	}
+}
+
+func BenchmarkTable1IncSSSP(b *testing.B) {
+	g := benchGraph(b, "TW", true)
+	delta := deltaOf(g, 4)
+	roundTrip(b, sssp.NewInc(g, 0), delta)
+}
+
+func BenchmarkTable1BatchSim(b *testing.B) {
+	g := benchGraph(b, "TW", true)
+	q := gen.Pattern(newRNG(2), 4, 6, gen.Alphabet)
+	g.Apply(deltaOf(g, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Simfp(g, q)
+	}
+}
+
+func BenchmarkTable1IncSim(b *testing.B) {
+	g := benchGraph(b, "TW", true)
+	q := gen.Pattern(newRNG(2), 4, 6, gen.Alphabet)
+	delta := deltaOf(g, 4)
+	roundTrip(b, sim.NewInc(g, q), delta)
+}
+
+func BenchmarkTable1BatchLCC(b *testing.B) {
+	g := benchGraph(b, "TW", false)
+	g.Apply(deltaOf(g, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lcc.Run(g)
+	}
+}
+
+func BenchmarkTable1IncLCC(b *testing.B) {
+	g := benchGraph(b, "TW", false)
+	delta := deltaOf(g, 4)
+	roundTrip(b, lcc.NewInc(g), delta)
+}
+
+// --- Fig. 6 (Exp-1): unit updates, deduced vs competitor ---
+
+func benchUnit(b *testing.B, mk func(g *graph.Graph) batchApplier, directed, insert bool) {
+	b.Helper()
+	g := benchGraph(b, "OKT", directed)
+	m := mk(g)
+	frac := 0.0
+	if insert {
+		frac = 1.0
+	}
+	updates := gen.RandomUpdates(newRNG(3), g, 256, frac)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.Batch{updates[i%len(updates)]}
+		m.Apply(u)
+		m.Apply(u.Inverse())
+	}
+}
+
+func BenchmarkExp1SSSPInsertInc(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return sssp.NewInc(g, 0) }, true, true)
+}
+
+func BenchmarkExp1SSSPInsertRR(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return sssp.NewRR(g, 0) }, true, true)
+}
+
+func BenchmarkExp1SSSPDeleteInc(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return sssp.NewInc(g, 0) }, true, false)
+}
+
+func BenchmarkExp1SSSPDeleteRR(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return sssp.NewRR(g, 0) }, true, false)
+}
+
+func BenchmarkExp1CCInsertInc(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return cc.NewInc(g) }, false, true)
+}
+
+func BenchmarkExp1CCInsertDynCC(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return cc.NewDynCC(g) }, false, true)
+}
+
+func BenchmarkExp1CCDeleteInc(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return cc.NewInc(g) }, false, false)
+}
+
+func BenchmarkExp1CCDeleteDynCC(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return cc.NewDynCC(g) }, false, false)
+}
+
+func BenchmarkExp1SimInsertInc(b *testing.B) {
+	q := gen.Pattern(newRNG(2), 4, 6, gen.Alphabet)
+	benchUnit(b, func(g *graph.Graph) batchApplier { return sim.NewInc(g, q) }, true, true)
+}
+
+func BenchmarkExp1SimInsertIncMatch(b *testing.B) {
+	q := gen.Pattern(newRNG(2), 4, 6, gen.Alphabet)
+	benchUnit(b, func(g *graph.Graph) batchApplier { return sim.NewIncMatch(g, q) }, true, true)
+}
+
+func BenchmarkExp1SimDeleteInc(b *testing.B) {
+	q := gen.Pattern(newRNG(2), 4, 6, gen.Alphabet)
+	benchUnit(b, func(g *graph.Graph) batchApplier { return sim.NewInc(g, q) }, true, false)
+}
+
+func BenchmarkExp1SimDeleteIncMatch(b *testing.B) {
+	q := gen.Pattern(newRNG(2), 4, 6, gen.Alphabet)
+	benchUnit(b, func(g *graph.Graph) batchApplier { return sim.NewIncMatch(g, q) }, true, false)
+}
+
+func BenchmarkExp1DFSInsertInc(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return dfs.NewInc(g) }, true, true)
+}
+
+func BenchmarkExp1DFSInsertDynDFS(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return dfs.NewDynDFS(g) }, true, true)
+}
+
+func BenchmarkExp1DFSDeleteInc(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return dfs.NewInc(g) }, true, false)
+}
+
+func BenchmarkExp1DFSDeleteDynDFS(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return dfs.NewDynDFS(g) }, true, false)
+}
+
+func BenchmarkExp1LCCInsertInc(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return lcc.NewInc(g) }, false, true)
+}
+
+func BenchmarkExp1LCCInsertDynLCC(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return lcc.NewDynLCC(g) }, false, true)
+}
+
+func BenchmarkExp1LCCDeleteInc(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return lcc.NewInc(g) }, false, false)
+}
+
+func BenchmarkExp1LCCDeleteDynLCC(b *testing.B) {
+	benchUnit(b, func(g *graph.Graph) batchApplier { return lcc.NewDynLCC(g) }, false, false)
+}
+
+// --- Fig. 7(a-f) (Exp-2): batch updates of growing size ---
+
+func BenchmarkExp2SSSPBatch(b *testing.B) {
+	g := benchGraph(b, "FS", true)
+	g.Apply(deltaOf(g, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sssp.Dijkstra(g, 0)
+	}
+}
+
+func BenchmarkExp2SSSPInc(b *testing.B) {
+	for _, p := range []float64{2, 8, 32} {
+		b.Run(fmt.Sprintf("delta=%g%%", p), func(b *testing.B) {
+			g := benchGraph(b, "FS", true)
+			roundTrip(b, sssp.NewInc(g, 0), deltaOf(g, p))
+		})
+	}
+}
+
+func BenchmarkExp2CCInc(b *testing.B) {
+	for _, p := range []float64{1, 4, 16} {
+		b.Run(fmt.Sprintf("delta=%g%%", p), func(b *testing.B) {
+			g := benchGraph(b, "OKT", false)
+			roundTrip(b, cc.NewInc(g), deltaOf(g, p))
+		})
+	}
+}
+
+func BenchmarkExp2SimInc(b *testing.B) {
+	q := gen.Pattern(newRNG(2), 4, 6, gen.Alphabet)
+	for _, p := range []float64{4, 16, 64} {
+		b.Run(fmt.Sprintf("delta=%g%%", p), func(b *testing.B) {
+			g := benchGraph(b, "DP", true)
+			roundTrip(b, sim.NewInc(g, q), deltaOf(g, p))
+		})
+	}
+}
+
+func BenchmarkExp2LCCInc(b *testing.B) {
+	for _, p := range []float64{2, 8} {
+		b.Run(fmt.Sprintf("delta=%g%%", p), func(b *testing.B) {
+			g := benchGraph(b, "LJ", false)
+			roundTrip(b, lcc.NewInc(g), deltaOf(g, p))
+		})
+	}
+}
+
+func BenchmarkExp2DFSInc(b *testing.B) {
+	for _, p := range []float64{0.25, 2} {
+		b.Run(fmt.Sprintf("delta=%g%%", p), func(b *testing.B) {
+			g := benchGraph(b, "OKT", true)
+			roundTrip(b, dfs.NewInc(g), deltaOf(g, p))
+		})
+	}
+}
+
+// --- Fig. 7(g-i) (Exp-2(2)): temporal windows ---
+
+func BenchmarkExp2TypesWindow(b *testing.B) {
+	d, _ := gen.ByName("WD")
+	tp := d.BuildTemporal(1, benchScale, 2)
+	g0 := tp.Snapshot(0)
+	w1 := tp.Window(0, 1)
+	roundTrip(b, sssp.NewInc(g0, 0), w1)
+}
+
+// --- Fig. 7(j-l) (Exp-3): scalability with |G| ---
+
+func BenchmarkExp3SSSP(b *testing.B) {
+	for _, n := range []int{25_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := gen.Synthetic(1, n, 10, true)
+			roundTrip(b, sssp.NewInc(g, 0), deltaOf(g, 1))
+		})
+	}
+}
+
+// --- Fig. 8 (Exp-4): structure footprints, measured as allocations ---
+
+func BenchmarkExp4BuildIncSSSP(b *testing.B) {
+	g := benchGraph(b, "OKT", true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sssp.NewInc(g, 0)
+	}
+}
+
+func BenchmarkExp4BuildIncCC(b *testing.B) {
+	g := benchGraph(b, "OKT", false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.NewInc(g)
+	}
+}
+
+func BenchmarkExp4BuildDynCC(b *testing.B) {
+	g := benchGraph(b, "OKT", false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.NewDynCC(g)
+	}
+}

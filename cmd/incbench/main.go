@@ -1,0 +1,89 @@
+// Command incbench regenerates the paper's evaluation tables and figures
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results).
+//
+// Usage:
+//
+//	incbench -exp all                 # every experiment at default scale
+//	incbench -exp exp2 -class sssp    # one figure family
+//	incbench -exp exp1 -scale 0.5     # smaller stand-ins
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"incgraph/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1|exp1|exp2|exp2types|exp3|exp4|aff|ablation|datasets|extensions|all")
+		class = flag.String("class", "all", "query class for exp2: sssp|cc|sim|lcc|dfs|all")
+		scale = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed  = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	cfg := bench.Config{Seed: *seed, Scale: *scale, Out: os.Stdout}
+
+	run := func(name string, f func(bench.Config)) {
+		start := time.Now()
+		f(cfg)
+		fmt.Printf("-- %s done in %.1fs --\n", name, time.Since(start).Seconds())
+	}
+	exp2 := func() {
+		if *class == "sssp" || *class == "all" {
+			run("exp2-sssp", bench.Exp2SSSP)
+		}
+		if *class == "cc" || *class == "all" {
+			run("exp2-cc", bench.Exp2CC)
+		}
+		if *class == "sim" || *class == "all" {
+			run("exp2-sim", bench.Exp2Sim)
+		}
+		if *class == "lcc" || *class == "all" {
+			run("exp2-lcc", bench.Exp2LCC)
+		}
+		if *class == "dfs" || *class == "all" {
+			run("exp2-dfs", bench.Exp2DFS)
+		}
+	}
+	switch *exp {
+	case "table1":
+		run("table1", bench.Table1)
+	case "exp1":
+		run("exp1", bench.Exp1)
+	case "exp2":
+		exp2()
+	case "exp2types":
+		run("exp2types", bench.Exp2Types)
+	case "exp3":
+		run("exp3", bench.Exp3)
+	case "exp4":
+		run("exp4", bench.Exp4)
+	case "aff":
+		run("aff", bench.ExpAff)
+	case "ablation":
+		run("ablation", bench.ExpAblation)
+	case "datasets":
+		run("datasets", bench.ExpDatasets)
+	case "extensions":
+		run("extensions", bench.ExpExtensions)
+	case "all":
+		run("datasets", bench.ExpDatasets)
+		run("table1", bench.Table1)
+		run("exp1", bench.Exp1)
+		exp2()
+		run("exp2types", bench.Exp2Types)
+		run("exp3", bench.Exp3)
+		run("exp4", bench.Exp4)
+		run("aff", bench.ExpAff)
+		run("ablation", bench.ExpAblation)
+		run("extensions", bench.ExpExtensions)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

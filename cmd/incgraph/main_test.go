@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"incgraph"
+)
+
+func writeGraphFile(t *testing.T, g *incgraph.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func demoGraph(directed bool) *incgraph.Graph {
+	g := incgraph.NewGraph(4, directed)
+	g.InsertEdge(0, 1, 2)
+	g.InsertEdge(1, 2, 2)
+	g.InsertEdge(2, 3, 2)
+	return g
+}
+
+func TestRunSSSP(t *testing.T) {
+	g := demoGraph(true)
+	var buf bytes.Buffer
+	if err := run(&buf, "sssp", g, "", 0, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "batch:") || !strings.Contains(out, "3 6") {
+		t.Fatalf("output missing pieces:\n%s", out)
+	}
+}
+
+func TestRunSSSPWithUpdates(t *testing.T) {
+	g := demoGraph(true)
+	delta := incgraph.Batch{{Kind: incgraph.InsertEdge, From: 0, To: 3, W: 1}}
+	var buf bytes.Buffer
+	if err := run(&buf, "sssp", g, "", 0, delta, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "incremental:") || !strings.Contains(buf.String(), "3 1") {
+		t.Fatalf("update not applied:\n%s", buf.String())
+	}
+}
+
+func TestRunCCDFS(t *testing.T) {
+	for _, algo := range []string{"cc", "dfs"} {
+		var buf bytes.Buffer
+		if err := run(&buf, algo, demoGraph(algo == "dfs"), "", 0, nil, false); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s: empty output", algo)
+		}
+	}
+}
+
+func TestRunLCCBCRejectDirected(t *testing.T) {
+	for _, algo := range []string{"lcc", "bc"} {
+		var buf bytes.Buffer
+		if err := run(&buf, algo, demoGraph(true), "", 0, nil, true); err == nil {
+			t.Fatalf("%s accepted a directed graph", algo)
+		}
+	}
+}
+
+func TestRunLCCBCUndirected(t *testing.T) {
+	g := demoGraph(false)
+	g.InsertEdge(0, 2, 1) // close a triangle
+	for _, algo := range []string{"lcc", "bc"} {
+		var buf bytes.Buffer
+		if err := run(&buf, algo, g.Clone(), "", 0, nil, false); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunSimNeedsPattern(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "sim", demoGraph(true), "", 0, nil, true); err == nil {
+		t.Fatal("sim without pattern accepted")
+	}
+}
+
+func TestRunSimWithPattern(t *testing.T) {
+	q := incgraph.NewGraph(2, true)
+	q.InsertEdge(0, 1, 1)
+	qPath := writeGraphFile(t, q)
+	var buf bytes.Buffer
+	if err := run(&buf, "sim", demoGraph(true), qPath, 0, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "matches:") {
+		t.Fatalf("no match count:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownAlgo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", demoGraph(true), "", 0, nil, true); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+}
+
+func TestLoadGraph(t *testing.T) {
+	path := writeGraphFile(t, demoGraph(true))
+	g, err := loadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if _, err := loadGraph(""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := loadGraph(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package incgraph_test
+
+// Godoc examples: each shows one public entry point end to end and is
+// executed by go test.
+
+import (
+	"bytes"
+	"fmt"
+
+	"incgraph"
+)
+
+func ExampleNewIncSSSP() {
+	g := incgraph.NewGraph(4, true)
+	g.InsertEdge(0, 1, 5)
+	g.InsertEdge(1, 2, 5)
+
+	inc := incgraph.NewIncSSSP(g, 0)
+	fmt.Println("before:", inc.Dist()[2])
+
+	inc.Apply(incgraph.Batch{
+		{Kind: incgraph.InsertEdge, From: 0, To: 2, W: 3},
+	})
+	fmt.Println("after: ", inc.Dist()[2])
+	// Output:
+	// before: 10
+	// after:  3
+}
+
+func ExampleNewIncCC() {
+	g := incgraph.NewGraph(4, false)
+	g.InsertEdge(0, 1, 1)
+	g.InsertEdge(2, 3, 1)
+
+	inc := incgraph.NewIncCC(g)
+	fmt.Println("components before:", inc.Labels())
+
+	inc.Apply(incgraph.Batch{{Kind: incgraph.InsertEdge, From: 1, To: 2, W: 1}})
+	fmt.Println("components after: ", inc.Labels())
+	// Output:
+	// components before: [0 0 2 2]
+	// components after:  [0 0 0 0]
+}
+
+func ExampleNewIncSim() {
+	// Data: a(0) -> b(1); pattern: A(a) -> B(b).
+	g := incgraph.NewGraph(3, true)
+	g.SetLabel(0, 'a')
+	g.SetLabel(1, 'b')
+	g.SetLabel(2, 'a')
+	g.InsertEdge(0, 1, 1)
+
+	q := incgraph.NewGraph(2, true)
+	q.SetLabel(0, 'a')
+	q.SetLabel(1, 'b')
+	q.InsertEdge(0, 1, 1)
+
+	inc := incgraph.NewIncSim(g, q)
+	fmt.Println("matches before:", inc.Relation().Count())
+
+	// Give node 2 a b-successor: it now simulates pattern node A too.
+	inc.Apply(incgraph.Batch{{Kind: incgraph.InsertEdge, From: 2, To: 1, W: 1}})
+	fmt.Println("matches after: ", inc.Relation().Count())
+	// Output:
+	// matches before: 2
+	// matches after:  3
+}
+
+func ExampleNewIncDFS() {
+	g := incgraph.NewGraph(3, true)
+	g.InsertEdge(0, 1, 1)
+	g.InsertEdge(1, 2, 1)
+
+	inc := incgraph.NewIncDFS(g)
+	tr := inc.Tree()
+	fmt.Println("intervals:", tr.First, tr.Last)
+
+	inc.Apply(incgraph.Batch{{Kind: incgraph.DeleteEdge, From: 1, To: 2}})
+	tr = inc.Tree()
+	fmt.Println("parent of 2:", tr.Parent[2])
+	// Output:
+	// intervals: [1 2 3] [6 5 4]
+	// parent of 2: -1
+}
+
+func ExampleNewIncLCC() {
+	// A triangle with a tail.
+	g := incgraph.NewGraph(4, false)
+	g.InsertEdge(0, 1, 1)
+	g.InsertEdge(1, 2, 1)
+	g.InsertEdge(0, 2, 1)
+	g.InsertEdge(2, 3, 1)
+
+	inc := incgraph.NewIncLCC(g)
+	fmt.Printf("γ(0) = %.2f, γ(2) = %.2f\n", inc.Result().Gamma(0), inc.Result().Gamma(2))
+
+	inc.Apply(incgraph.Batch{{Kind: incgraph.DeleteEdge, From: 0, To: 1}})
+	fmt.Printf("γ(2) after = %.2f\n", inc.Result().Gamma(2))
+	// Output:
+	// γ(0) = 1.00, γ(2) = 0.33
+	// γ(2) after = 0.00
+}
+
+func ExampleNewIncBC() {
+	// Two triangles sharing node 2: a "bowtie" with one articulation point.
+	g := incgraph.NewGraph(5, false)
+	g.InsertEdge(0, 1, 1)
+	g.InsertEdge(1, 2, 1)
+	g.InsertEdge(0, 2, 1)
+	g.InsertEdge(2, 3, 1)
+	g.InsertEdge(3, 4, 1)
+	g.InsertEdge(2, 4, 1)
+
+	inc := incgraph.NewIncBC(g)
+	fmt.Println("components:", inc.Result().NumComps())
+	fmt.Println("articulation at 2:", inc.Result().Articulation[2])
+
+	// Tie the triangles together: the articulation point disappears.
+	inc.Apply(incgraph.Batch{{Kind: incgraph.InsertEdge, From: 0, To: 4, W: 1}})
+	fmt.Println("after insert:", inc.Result().NumComps(), inc.Result().Articulation[2])
+	// Output:
+	// components: 2
+	// articulation at 2: true
+	// after insert: 1 false
+}
+
+func ExampleReadGraph() {
+	in := `graph directed 3
+v 2 7
+e 0 1 5
+e 1 2 2
+`
+	g, err := incgraph.ReadGraph(bytes.NewReader([]byte(in)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.NumNodes(), g.NumEdges(), g.Label(2), g.Weight(0, 1))
+	// Output: 3 2 7 5
+}
+
+func ExampleSSSP() {
+	g := incgraph.GridGraph(1, 3, 3)
+	dist := incgraph.SSSP(g, 0)
+	fmt.Println(len(dist), dist[0])
+	// Output: 9 0
+}

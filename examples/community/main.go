@@ -1,0 +1,76 @@
+// Community tracking: incremental connected components and clustering
+// coefficients over an evolving friendship network.
+//
+// A moderation team watches how communities merge and split and how
+// tightly knit they are (the clustering coefficient) as friendships form
+// and dissolve. Both metrics are maintained incrementally and verified
+// against batch recomputation each round.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"incgraph"
+)
+
+func main() {
+	g := incgraph.PowerLawGraph(21, 20_000, 10, false)
+	fmt.Printf("friendship network: %d users, %d friendships\n\n", g.NumNodes(), g.NumEdges())
+
+	ccInc := incgraph.NewIncCC(g)
+	lccInc := incgraph.NewIncLCC(g.Clone())
+
+	var ccTotal, lccTotal, batchTotal time.Duration
+	for day := 1; day <= 7; day++ {
+		// Each day brings a churn of new friendships (60%) and removals.
+		delta := incgraph.RandomUpdates(int64(200+day), ccInc.Graph(), 300, 0.6)
+
+		t0 := time.Now()
+		ccInc.Apply(delta)
+		ccTime := time.Since(t0)
+		ccTotal += ccTime
+
+		t0 = time.Now()
+		lccInc.Apply(delta)
+		lccTime := time.Since(t0)
+		lccTotal += lccTime
+
+		// Verify against batch recomputation.
+		t0 = time.Now()
+		wantCC := incgraph.ConnectedComponents(ccInc.Graph())
+		wantLCC := incgraph.LCC(lccInc.Graph())
+		batchTotal += time.Since(t0)
+		for v, l := range ccInc.Labels() {
+			if l != wantCC[v] {
+				panic("component labels diverged")
+			}
+		}
+		if !lccInc.Result().Equal(wantLCC) {
+			panic("clustering coefficients diverged")
+		}
+
+		comps := map[int64]int{}
+		for _, l := range ccInc.Labels() {
+			comps[l]++
+		}
+		giant := 0
+		for _, size := range comps {
+			if size > giant {
+				giant = size
+			}
+		}
+		var avgGamma float64
+		for v := 0; v < ccInc.Graph().NumNodes(); v++ {
+			avgGamma += lccInc.Result().Gamma(incgraph.NodeID(v))
+		}
+		avgGamma /= float64(ccInc.Graph().NumNodes())
+
+		fmt.Printf("day %d: %d updates | components %4d (giant %5d) | avg γ %.4f | IncCC %8v | IncLCC %8v\n",
+			day, len(delta), len(comps), giant, avgGamma,
+			ccTime.Round(time.Microsecond), lccTime.Round(time.Microsecond))
+	}
+	fmt.Printf("\ntotals: IncCC %v + IncLCC %v vs batch verification %v\n",
+		ccTotal.Round(time.Millisecond), lccTotal.Round(time.Millisecond),
+		batchTotal.Round(time.Millisecond))
+}

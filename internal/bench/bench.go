@@ -1,0 +1,104 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§6) on the synthetic stand-in
+// datasets. Each experiment prints rows shaped like the paper's: who is
+// compared, over which workload, and the measured times. Absolute numbers
+// differ from the paper (different hardware, language and scale); the
+// comparisons' shape is what the harness reproduces — see EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"text/tabwriter"
+	"time"
+)
+
+// newRNG builds the deterministic random source of an experiment.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Config parameterizes a harness run.
+type Config struct {
+	Seed  int64
+	Scale float64 // dataset size multiplier; 1.0 is the default laptop scale
+	Out   io.Writer
+}
+
+// stopwatch runs f once and returns elapsed seconds.
+func stopwatch(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+// heapDelta measures the live-heap growth caused by build, returning its
+// result and the growth in bytes. The keep parameter prevents the built
+// structures from being collected before the second reading.
+func heapDelta(build func() any) (any, int64) {
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	x := build()
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	d := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	if d < 0 {
+		d = 0
+	}
+	return x, d
+}
+
+// table renders aligned rows under a title.
+type table struct {
+	w   *tabwriter.Writer
+	out io.Writer
+}
+
+func newTable(out io.Writer, title string, header ...string) *table {
+	fmt.Fprintf(out, "\n== %s ==\n", title)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	t := &table{w: w, out: out}
+	t.row(toAny(header)...)
+	return t
+}
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(t.w, "%.4fs", v)
+		default:
+			fmt.Fprintf(t.w, "%v", v)
+		}
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) flush() { t.w.Flush() }
+
+// mib formats bytes as MiB.
+func mib(b int64) string { return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20)) }
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// speedup formats a baseline/measured ratio.
+func speedup(base, inc float64) string {
+	if inc <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", base/inc)
+}

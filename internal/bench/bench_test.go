@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyCfg runs every experiment at a small scale so the whole suite stays
+// in test-friendly time.
+func tinyCfg(buf *bytes.Buffer) Config {
+	return Config{Seed: 1, Scale: 0.05, Out: buf}
+}
+
+func runAndCheck(t *testing.T, name string, f func(Config), wantSnippets ...string) {
+	t.Helper()
+	var buf bytes.Buffer
+	f(tinyCfg(&buf))
+	out := buf.String()
+	if len(out) == 0 {
+		t.Fatalf("%s produced no output", name)
+	}
+	for _, s := range wantSnippets {
+		if !strings.Contains(out, s) {
+			t.Fatalf("%s output missing %q:\n%s", name, s, out)
+		}
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	runAndCheck(t, "Table1", Table1, "Table 1", "SSSP", "Sim", "LCC", "Deduced")
+}
+
+func TestExp1Smoke(t *testing.T) {
+	runAndCheck(t, "Exp1", Exp1, "Fig 6(a,b)", "Fig 6(i,j)", "OKT", "WD", "Comp del")
+}
+
+func TestExp2Smoke(t *testing.T) {
+	runAndCheck(t, "Exp2SSSP", Exp2SSSP, "Fig 7(a/b)", "IncSSSP_n", "32%")
+	runAndCheck(t, "Exp2CC", Exp2CC, "Fig 7(c)", "DynCC", "64%")
+	runAndCheck(t, "Exp2Sim", Exp2Sim, "Fig 7(d/e)", "IncMatch")
+	runAndCheck(t, "Exp2LCC", Exp2LCC, "Fig 7(f)", "DynLCC")
+	runAndCheck(t, "Exp2DFS", Exp2DFS, "DFS on OKT", "DynDFS")
+}
+
+func TestExp2TypesSmoke(t *testing.T) {
+	runAndCheck(t, "Exp2Types", Exp2Types, "Fig 7(g)", "Fig 7(h)", "Fig 7(i)", "M5", "h-fraction")
+}
+
+func TestExp3Smoke(t *testing.T) {
+	runAndCheck(t, "Exp3", Exp3, "Fig 7(j)", "Fig 7(k)", "Fig 7(l)")
+}
+
+func TestExp4Smoke(t *testing.T) {
+	runAndCheck(t, "Exp4", Exp4, "Fig 8", "MiB")
+}
+
+func TestExpAffSmoke(t *testing.T) {
+	runAndCheck(t, "ExpAff", ExpAff, "AFF", "IncSSSP", "IncLCC", "%")
+}
+
+func TestExpAblationSmoke(t *testing.T) {
+	runAndCheck(t, "ExpAblation", ExpAblation, "Ablation 1", "Ablation 2", "Ablation 3", "IncCCNaive", "push")
+}
+
+func TestExpExtensionsSmoke(t *testing.T) {
+	runAndCheck(t, "ExpExtensions", ExpExtensions, "Extensions", "BC", "DualSim")
+}
+
+func TestExpDatasetsSmoke(t *testing.T) {
+	runAndCheck(t, "ExpDatasets", ExpDatasets, "Dataset stand-ins", "OKT", "max deg")
+}
+
+func TestHelpers(t *testing.T) {
+	if got := speedup(2, 1); got != "2.0x" {
+		t.Fatalf("speedup = %q", got)
+	}
+	if got := speedup(1, 0); got != "-" {
+		t.Fatalf("speedup zero = %q", got)
+	}
+	if got := mib(1 << 20); got != "1.0MiB" {
+		t.Fatalf("mib = %q", got)
+	}
+	if got := pct(0.5); got != "50.00%" {
+		t.Fatalf("pct = %q", got)
+	}
+	if got := ms(0.001); got != "1.000ms" {
+		t.Fatalf("ms = %q", got)
+	}
+}

@@ -1,0 +1,299 @@
+// Package dfs implements depth-first search (§5.2 of the paper): the
+// batch fixpoint algorithm DFS_fp producing the interval status variables
+// x_v = [v.first, v.last], the deduced incremental algorithm IncDFS, and
+// the DynDFS competitor (Yang et al. style validity-preserving dynamic
+// DFS).
+//
+// As in the paper, a virtual root connected to every node anchors the
+// traversal, so every node carries an interval. Determinism (needed for
+// the correctness equation Q(G ⊕ ΔG) = Q(G) ⊕ ΔO) comes from a canonical
+// neighbor order: smaller node ids first, with the virtual root
+// enumerating 0..n-1. Under that rule the DFS tree, preorder and
+// postorder are unique functions of the graph.
+//
+// IncDFS exploits the anchor structure of DFS_fp: the anchor set of x_v is
+// its parent, and <_C is the order of first-timestamps. An edge update
+// with source u can first influence the traversal at time first[u], so
+// every event before t* = min over changed sources of first[u] is reused
+// verbatim and the traversal is resumed from the stack state at t*. The
+// recomputed suffix is exactly the affected area AFF of DFS_fp — large
+// for DFS, as the paper observes (crossover near |ΔG| = 4%|G|).
+package dfs
+
+import (
+	"sort"
+
+	"incgraph/internal/graph"
+)
+
+// Tree is the output of a DFS: for every node its preorder/postorder
+// interval and its tree parent (-1 for children of the virtual root).
+// Timestamps are 1-based; a pair of events is spent per node.
+type Tree struct {
+	First, Last []int32
+	Parent      []graph.NodeID
+}
+
+// clone deep-copies the tree.
+func (t *Tree) clone() *Tree {
+	return &Tree{
+		First:  append([]int32(nil), t.First...),
+		Last:   append([]int32(nil), t.Last...),
+		Parent: append([]graph.NodeID(nil), t.Parent...),
+	}
+}
+
+// Equal reports whether two trees are identical.
+func (t *Tree) Equal(o *Tree) bool {
+	if len(t.First) != len(o.First) {
+		return false
+	}
+	for i := range t.First {
+		if t.First[i] != o.First[i] || t.Last[i] != o.Last[i] || t.Parent[i] != o.Parent[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsValid verifies that the tree is a legal DFS forest of g: intervals
+// properly nested, parents consistent with tree edges, and the DFS
+// invariant that no edge jumps forward across finished subtrees
+// (last[u] < first[v] for an edge (u, v) is the forbidden forward-cross
+// of §5.2).
+func (t *Tree) IsValid(g *graph.Graph) bool {
+	n := g.NumNodes()
+	if len(t.First) != n {
+		return false
+	}
+	for v := 0; v < n; v++ {
+		if t.First[v] <= 0 || t.Last[v] <= t.First[v] {
+			return false
+		}
+		if p := t.Parent[v]; p >= 0 {
+			if !g.HasEdge(p, graph.NodeID(v)) {
+				return false
+			}
+			// Child interval nested in parent interval.
+			if !(t.First[p] < t.First[v] && t.Last[v] < t.Last[p]) {
+				return false
+			}
+		}
+	}
+	ok := true
+	for u := 0; u < n && ok; u++ {
+		for _, e := range g.Out(graph.NodeID(u)) {
+			if t.Last[u] < t.First[e.To] {
+				ok = false
+				break
+			}
+		}
+	}
+	return ok
+}
+
+// Run computes the canonical DFS of g, the batch algorithm DFS_fp.
+func Run(g *graph.Graph) *Tree {
+	t := &Tree{
+		First:  make([]int32, g.NumNodes()),
+		Last:   make([]int32, g.NumNodes()),
+		Parent: make([]graph.NodeID, g.NumNodes()),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	replayFrom(g, t, 1)
+	return t
+}
+
+// frame is one open node on the DFS stack with its canonical neighbor
+// enumeration position.
+type frame struct {
+	v    graph.NodeID
+	nbrs []graph.NodeID
+	i    int
+}
+
+func sortedNbrs(g *graph.Graph, v graph.NodeID) []graph.NodeID {
+	out := g.Out(v)
+	ns := make([]graph.NodeID, len(out))
+	for i, e := range out {
+		ns[i] = e.To
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}
+
+// replayFrom discards every event at time >= tstar and re-runs the
+// traversal from the stack state at tstar. replayFrom(g, t, 1) is a full
+// batch run. It returns the number of nodes whose intervals were
+// (re)computed, the affected-area measure.
+func replayFrom(g *graph.Graph, t *Tree, tstar int32) int {
+	n := g.NumNodes()
+	// Grow state for vertex insertions.
+	for len(t.First) < n {
+		t.First = append(t.First, 0)
+		t.Last = append(t.Last, 0)
+		t.Parent = append(t.Parent, -1)
+	}
+	// Classify nodes: closed prefix (kept), open stack (first kept, last
+	// recomputed), affected suffix (reset).
+	var open []graph.NodeID
+	affected := 0
+	for v := 0; v < n; v++ {
+		switch {
+		case t.First[v] > 0 && t.First[v] < tstar && t.Last[v] >= tstar:
+			open = append(open, graph.NodeID(v))
+			t.Last[v] = 0
+		case t.First[v] >= tstar || t.First[v] == 0:
+			t.First[v], t.Last[v], t.Parent[v] = 0, 0, -1
+			affected++
+		}
+	}
+	sort.Slice(open, func(i, j int) bool { return t.First[open[i]] < t.First[open[j]] })
+
+	clock := tstar - 1
+	var stack []frame
+	for _, w := range open {
+		stack = append(stack, frame{v: w, nbrs: sortedNbrs(g, w)})
+	}
+	step := func() {
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			descended := false
+			for f.i < len(f.nbrs) {
+				w := f.nbrs[f.i]
+				f.i++
+				if t.First[w] == 0 {
+					clock++
+					t.First[w] = clock
+					t.Parent[w] = f.v
+					stack = append(stack, frame{v: w, nbrs: sortedNbrs(g, w)})
+					descended = true
+					break
+				}
+			}
+			if !descended {
+				clock++
+				t.Last[f.v] = clock
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	step()
+	// Virtual root enumerates remaining nodes in id order.
+	for s := 0; s < n; s++ {
+		if t.First[s] == 0 {
+			clock++
+			t.First[s] = clock
+			t.Parent[s] = -1
+			stack = append(stack, frame{v: graph.NodeID(s), nbrs: sortedNbrs(g, graph.NodeID(s))})
+			step()
+		}
+	}
+	return affected
+}
+
+// Inc is the deduced incremental algorithm IncDFS. It is deducible from
+// DFS_fp: the parent anchors and the order <_C are read off the interval
+// status variables, no timestamps beyond them are needed.
+type Inc struct {
+	g       *graph.Graph
+	tree    *Tree
+	pending graph.Batch
+}
+
+// NewInc runs the batch DFS and returns the incremental algorithm.
+func NewInc(g *graph.Graph) *Inc {
+	return &Inc{g: g, tree: Run(g)}
+}
+
+// Graph returns the maintained graph.
+func (i *Inc) Graph() *graph.Graph { return i.g }
+
+// Tree returns the maintained DFS tree (aliased, do not mutate).
+func (i *Inc) Tree() *Tree { return i.tree }
+
+// Apply computes G ⊕ ΔG and repairs the DFS tree by replaying the
+// traversal from the earliest affected anchor. It returns the number of
+// recomputed intervals.
+func (i *Inc) Apply(b graph.Batch) int {
+	i.Stage(b)
+	return i.Repair()
+}
+
+// Stage materializes G ⊕ ΔG without repairing the tree, letting
+// benchmarks time Repair separately from the graph mutation every method
+// needs.
+func (i *Inc) Stage(b graph.Batch) {
+	i.pending = append(i.pending, i.g.Apply(b.Net(i.g.Directed()))...)
+}
+
+// Repair replays the traversal suffix for the staged updates.
+func (i *Inc) Repair() int {
+	applied := i.pending
+	i.pending = nil
+	oldN := len(i.tree.First)
+	if len(applied) == 0 && i.g.NumNodes() == oldN {
+		return 0
+	}
+	end := int32(2*oldN + 1)
+	tstar := end
+	// The traversal can diverge only strictly after the changed source's
+	// visit event, so first[u]+1 is the earliest affected time.
+	consider := func(u graph.NodeID) {
+		if int(u) < oldN && i.tree.First[u] > 0 && i.tree.First[u]+1 < tstar {
+			tstar = i.tree.First[u] + 1
+		}
+	}
+	considerAt := func(t int32) {
+		if t > 0 && t < tstar {
+			tstar = t
+		}
+	}
+	old := func(v graph.NodeID) bool { return int(v) < oldN }
+	for _, up := range applied {
+		switch up.Kind {
+		case graph.InsertEdge:
+			if i.g.Directed() {
+				// If the target was already visited before the source
+				// even started, the canonical traversal skips the new
+				// edge: nothing diverges.
+				if old(up.From) && old(up.To) && i.tree.First[up.To] < i.tree.First[up.From] {
+					continue
+				}
+				consider(up.From)
+			} else {
+				consider(up.From)
+				consider(up.To)
+			}
+		case graph.DeleteEdge:
+			// Removing a non-tree edge never changes the canonical
+			// traversal: its consult always found the target visited.
+			fromTree := old(up.To) && i.tree.Parent[up.To] == up.From
+			toTree := !i.g.Directed() && old(up.From) && i.tree.Parent[up.From] == up.To
+			if fromTree {
+				considerAt(i.tree.First[up.To]) // divergence at the child's visit
+			}
+			if toTree {
+				considerAt(i.tree.First[up.From])
+			}
+		}
+	}
+	return replayFrom(i.g, i.tree, tstar)
+}
+
+// IncUnit is IncDFS_n: the unit-update variant.
+type IncUnit struct{ *Inc }
+
+// NewIncUnit builds the unit-update variant.
+func NewIncUnit(g *graph.Graph) *IncUnit { return &IncUnit{NewInc(g)} }
+
+// Apply processes each unit update as its own batch.
+func (i *IncUnit) Apply(b graph.Batch) int {
+	total := 0
+	for _, u := range b {
+		total += i.Inc.Apply(graph.Batch{u})
+	}
+	return total
+}

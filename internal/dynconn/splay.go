@@ -1,0 +1,167 @@
+package dynconn
+
+// node is one element of an Euler tour sequence stored in a splay tree:
+// either a vertex occurrence (u == v, the vertex's designated self-loop)
+// or one of the two arcs (u, v) / (v, u) representing a tree edge.
+//
+// Vertex nodes carry flags announcing incident edges at the tour's level
+// (non-tree adjacency, level-i tree edges); agg is the OR of flags over
+// the subtree, letting the HDT deletion cascade find flagged vertices in
+// O(log n).
+type node struct {
+	l, r, p *node
+	size    int32 // all nodes in subtree
+	vcount  int32 // vertex nodes in subtree
+	u, v    int32
+	flags   uint8 // vertex nodes only
+	agg     uint8
+}
+
+const (
+	flagNonTree uint8 = 1 << iota // vertex has level-i non-tree edges
+	flagTree                      // vertex has tree edges of level exactly i
+)
+
+func (x *node) isVertex() bool { return x.u == x.v }
+
+func (x *node) update() {
+	x.size = 1
+	x.vcount = 0
+	x.agg = x.flags
+	if x.isVertex() {
+		x.vcount = 1
+	}
+	if x.l != nil {
+		x.size += x.l.size
+		x.vcount += x.l.vcount
+		x.agg |= x.l.agg
+	}
+	if x.r != nil {
+		x.size += x.r.size
+		x.vcount += x.r.vcount
+		x.agg |= x.r.agg
+	}
+}
+
+// rotate lifts x above its parent.
+func rotate(x *node) {
+	p := x.p
+	g := p.p
+	if p.l == x {
+		p.l = x.r
+		if x.r != nil {
+			x.r.p = p
+		}
+		x.r = p
+	} else {
+		p.r = x.l
+		if x.l != nil {
+			x.l.p = p
+		}
+		x.l = p
+	}
+	p.p = x
+	x.p = g
+	if g != nil {
+		if g.l == p {
+			g.l = x
+		} else {
+			g.r = x
+		}
+	}
+	p.update()
+	x.update()
+}
+
+// splay moves x to the root of its splay tree.
+func splay(x *node) {
+	for x.p != nil {
+		p := x.p
+		g := p.p
+		if g != nil {
+			if (g.l == p) == (p.l == x) {
+				rotate(p) // zig-zig
+			} else {
+				rotate(x) // zig-zag
+			}
+		}
+		rotate(x)
+	}
+}
+
+// index returns the number of nodes before x in its sequence. It splays x.
+func index(x *node) int32 {
+	splay(x)
+	if x.l != nil {
+		return x.l.size
+	}
+	return 0
+}
+
+// detachLeft splays x and removes its left subtree, returning it.
+func detachLeft(x *node) *node {
+	splay(x)
+	l := x.l
+	if l != nil {
+		l.p = nil
+		x.l = nil
+		x.update()
+	}
+	return l
+}
+
+// detachRight splays x and removes its right subtree, returning it.
+func detachRight(x *node) *node {
+	splay(x)
+	r := x.r
+	if r != nil {
+		r.p = nil
+		x.r = nil
+		x.update()
+	}
+	return r
+}
+
+// merge concatenates sequences a then b and returns the new root.
+func merge(a, b *node) *node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	for a.r != nil {
+		a = a.r
+	}
+	splay(a)
+	a.r = b
+	b.p = a
+	a.update()
+	return a
+}
+
+// sameSeq reports whether x and y belong to the same sequence. It splays.
+func sameSeq(x, y *node) bool {
+	if x == y {
+		return true
+	}
+	splay(x)
+	splay(y)
+	return x.p != nil
+}
+
+// findFlagged returns any vertex node in x's subtree whose flags intersect
+// mask, or nil.
+func findFlagged(x *node, mask uint8) *node {
+	for x != nil && x.agg&mask != 0 {
+		if x.isVertex() && x.flags&mask != 0 {
+			return x
+		}
+		if x.l != nil && x.l.agg&mask != 0 {
+			x = x.l
+			continue
+		}
+		x = x.r
+	}
+	return nil
+}

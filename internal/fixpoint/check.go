@@ -1,0 +1,134 @@
+package fixpoint
+
+import "math/rand"
+
+// This file provides randomized checkers for the paper's condition (C2):
+// the batch algorithm must be *contracting* (updates move values downward
+// in ≼) and *monotonic* (f_x is order-preserving in its inputs). Tests use
+// them to certify each instance before relying on Theorem 3; they are also
+// handy while developing a new instance.
+
+// CheckContracting runs the batch fixpoint and verifies that every value
+// change moved downward: newv ≼ oldv at each write. It returns false on
+// the first violation.
+func CheckContracting[V any](inst Instance[V]) bool {
+	n := inst.NumVars()
+	val := make([]V, n)
+	for i := 0; i < n; i++ {
+		val[i] = inst.Bottom(Var(i))
+	}
+	ok := true
+	get := func(y Var) V { return val[y] }
+	wl := newFifo(n)
+	recompute := func(x Var) bool {
+		newv := inst.Update(x, get)
+		if inst.Equal(newv, val[x]) {
+			return false
+		}
+		if inst.Less(val[x], newv) {
+			ok = false // moved upward: not contracting
+		}
+		val[x] = newv
+		return true
+	}
+	inst.Seeds(func(x Var) {
+		recompute(x)
+		wl.AddOrAdjust(x)
+	})
+	for ok {
+		x, popped := wl.Pop()
+		if !popped {
+			break
+		}
+		inst.Dependents(x, func(z Var) {
+			if recompute(z) {
+				wl.AddOrAdjust(z)
+			}
+		})
+	}
+	return ok
+}
+
+// CheckMonotonic samples random feasible input assignments for random
+// variables and verifies that lowering any single input never raises
+// f_x's output. The check is probabilistic: it samples `samples` pairs;
+// inputs are drawn between the instance's final and initial values by
+// interpolating over an already-computed state.
+//
+// It requires a completed engine run to know the value range; pass its
+// state. It returns false on the first violation found.
+func CheckMonotonic[V any](inst Instance[V], st *State[V], rng *rand.Rand, samples int) bool {
+	n := inst.NumVars()
+	if n == 0 {
+		return true
+	}
+	for s := 0; s < samples; s++ {
+		x := Var(rng.Intn(n))
+		// Assignment A: each input at bottom or final, at random.
+		// Assignment B: like A but with one random input lowered to final
+		// where A had bottom. Monotonicity demands f(B) ≼ f(A).
+		var inputs []Var
+		inst.Inputs(x, func(y Var) { inputs = append(inputs, y) })
+		if len(inputs) == 0 {
+			continue
+		}
+		hi := make(map[Var]bool, len(inputs))
+		for _, y := range inputs {
+			hi[y] = rng.Intn(2) == 0
+		}
+		lowered := inputs[rng.Intn(len(inputs))]
+		if !hi[lowered] {
+			continue // already low in A; pick cheaply and move on
+		}
+		getA := func(y Var) V {
+			if hi[y] {
+				return inst.Bottom(y)
+			}
+			return st.Val[y]
+		}
+		getB := func(y Var) V {
+			if y == lowered {
+				return st.Val[y]
+			}
+			return getA(y)
+		}
+		fa := inst.Update(x, getA)
+		fb := inst.Update(x, getB)
+		if inst.Less(fa, fb) { // lowering an input raised the output
+			return false
+		}
+	}
+	return true
+}
+
+// CheckRelaxerConsistency verifies, by exhaustive evaluation over the
+// current state, that a Relaxer instance's per-edge candidates agree with
+// its Update function: for every variable, the meet of Bottom and the
+// candidates emitted *to* it equals f_x on current values. It returns
+// false on the first mismatch.
+func CheckRelaxerConsistency[V any](inst Instance[V], st *State[V]) bool {
+	rx, okR := inst.(Relaxer[V])
+	if !okR {
+		return true
+	}
+	n := inst.NumVars()
+	meet := make([]V, n)
+	for i := 0; i < n; i++ {
+		meet[i] = inst.Bottom(Var(i))
+	}
+	for x := 0; x < n; x++ {
+		rx.RelaxOut(Var(x), st.Val[x], func(z Var, cand V) {
+			if inst.Less(cand, meet[z]) {
+				meet[z] = cand
+			}
+		})
+	}
+	get := func(y Var) V { return st.Val[y] }
+	for x := 0; x < n; x++ {
+		want := inst.Update(Var(x), get)
+		if !inst.Equal(meet[x], want) {
+			return false
+		}
+	}
+	return true
+}

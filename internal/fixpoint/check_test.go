@@ -1,0 +1,103 @@
+package fixpoint
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCheckContractingMinPlus(t *testing.T) {
+	m := paperGraph()
+	if !CheckContracting[int64](m) {
+		t.Fatal("min-plus instance reported non-contracting")
+	}
+}
+
+// antiMinPlus breaks contraction by computing a max instead of a min.
+type antiMinPlus struct{ *minPlus }
+
+func (m antiMinPlus) Update(x Var, get func(Var) int64) int64 {
+	if x == m.src {
+		return 5 // rises above Bottom(src) = 0
+	}
+	return m.minPlus.Update(x, get)
+}
+
+func TestCheckContractingDetectsViolation(t *testing.T) {
+	if CheckContracting[int64](antiMinPlus{paperGraph()}) {
+		t.Fatal("non-contracting instance passed")
+	}
+}
+
+func TestCheckMonotonicMinPlus(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+	if !CheckMonotonic[int64](m, e.State(), rand.New(rand.NewSource(1)), 500) {
+		t.Fatal("min-plus instance reported non-monotonic")
+	}
+}
+
+// antiMono inverts the effect of one input: lowering it raises the output.
+type antiMono struct{ *minPlus }
+
+func (m antiMono) Update(x Var, get func(Var) int64) int64 {
+	if x == m.src {
+		return 0
+	}
+	worst := int64(0)
+	for _, a := range m.in[x] {
+		if d := get(a.to); d < inf && inf-d > worst {
+			worst = inf - d
+		}
+	}
+	if worst == 0 {
+		return inf
+	}
+	return worst
+}
+
+func TestCheckMonotonicDetectsViolation(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+	anti := antiMono{m}
+	if CheckMonotonic[int64](anti, e.State(), rand.New(rand.NewSource(2)), 2000) {
+		t.Fatal("non-monotonic instance passed")
+	}
+}
+
+func TestCheckRelaxerConsistency(t *testing.T) {
+	m := paperGraph()
+	p := pushMinPlus{m}
+	e := New[int64](p, PriorityOrder)
+	e.Run()
+	if !CheckRelaxerConsistency[int64](p, e.State()) {
+		t.Fatal("consistent relaxer reported inconsistent")
+	}
+	// A non-relaxer instance passes trivially.
+	if !CheckRelaxerConsistency[int64](m, e.State()) {
+		t.Fatal("non-relaxer should pass")
+	}
+}
+
+// badRelaxer emits wrong candidates.
+type badRelaxer struct{ *minPlus }
+
+func (m badRelaxer) RelaxOut(x Var, xv int64, emit func(Var, int64)) {
+	if xv >= inf {
+		return
+	}
+	for _, a := range m.out[x] {
+		emit(a.to, xv+a.w+1) // off by one
+	}
+}
+
+func TestCheckRelaxerConsistencyDetectsMismatch(t *testing.T) {
+	m := paperGraph()
+	good := pushMinPlus{m}
+	e := New[int64](good, PriorityOrder)
+	e.Run()
+	if CheckRelaxerConsistency[int64](badRelaxer{m}, e.State()) {
+		t.Fatal("inconsistent relaxer passed")
+	}
+}

@@ -1,0 +1,94 @@
+package fixpoint
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Tests for the refined incremental API: feasibility hints and push seeds.
+
+func TestIncrementalRunDeltaPushSeeds(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](pushMinPlus{m}, PriorityOrder)
+	e.Run()
+
+	// Insert an improving edge (0, 7) with weight 1: dist[7] drops 4 → 1.
+	// The tail 0 is a push seed; no variable is touched infeasibly.
+	m.addEdge(0, 7, 1)
+	h0 := e.IncrementalRunDelta(nil, []Var{0})
+	if len(h0) != 0 {
+		t.Fatalf("pure improvement produced H0 = %v", h0)
+	}
+	if e.State().Val[7] != 1 {
+		t.Fatalf("dist[7] = %d, want 1", e.State().Val[7])
+	}
+	if !e.Fixpoint() {
+		t.Fatal("not a fixpoint after push-seed repair")
+	}
+}
+
+func TestIncrementalRunDeltaMixed(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](pushMinPlus{m}, PriorityOrder)
+	e.Run()
+
+	// Delete the tight edge (2,5) (dist[5] was 2 via 2) and insert (0,5,9).
+	m.delEdge(2, 5)
+	m.addEdge(0, 5, 9)
+	e.IncrementalRunDelta(
+		[]Touched{{X: 5, MaybeInfeasible: true}},
+		[]Var{0},
+	)
+	fresh := New[int64](pushMinPlus{m}, PriorityOrder)
+	fresh.Run()
+	if !reflect.DeepEqual(e.State().Val, fresh.State().Val) {
+		t.Fatalf("mixed delta repair %v != fresh %v", e.State().Val, fresh.State().Val)
+	}
+}
+
+func TestGrowMidStream(t *testing.T) {
+	m := newMinPlus(3, 0)
+	m.addEdge(0, 1, 2)
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+
+	// Grow the instance by two variables, wire one up, repair.
+	m.out = append(m.out, nil, nil)
+	m.in = append(m.in, nil, nil)
+	e.Grow()
+	if len(e.State().Val) != 5 || e.State().Val[3] != inf {
+		t.Fatalf("grown state wrong: %v", e.State().Val)
+	}
+	m.addEdge(1, 3, 4)
+	m.addEdge(3, 4, 1)
+	e.IncrementalRunDelta(nil, []Var{1, 3})
+	want := []int64{0, 2, inf, 6, 7}
+	if !reflect.DeepEqual(e.State().Val, want) {
+		t.Fatalf("vals after grow+repair = %v, want %v", e.State().Val, want)
+	}
+}
+
+func TestHRevisionRestampsForNextRound(t *testing.T) {
+	// After a deletion raises a variable, its timestamp must be fresher
+	// than untouched variables', so the next round's anchor analysis sees
+	// the revised derivation order. This is the regression test for the
+	// staleness bug where h revised values without stamping.
+	m := newMinPlus(4, 0)
+	m.addEdge(0, 1, 1)
+	m.addEdge(1, 2, 1)
+	m.addEdge(0, 3, 5)
+	m.addEdge(3, 2, 5)
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+	tsBefore := e.State().TS[2]
+
+	// Delete (1,2): node 2 re-derives via 3 (dist 10), revised by h.
+	m.delEdge(1, 2)
+	e.IncrementalRun([]Var{2})
+	if e.State().Val[2] != 10 {
+		t.Fatalf("dist[2] = %d, want 10", e.State().Val[2])
+	}
+	if e.State().TS[2] <= tsBefore {
+		t.Fatal("revised variable kept a stale timestamp")
+	}
+}

@@ -1,0 +1,405 @@
+// Package fixpoint implements the paper's core contribution: the class Φ of
+// fixpoint graph algorithms (§3) and their systematic incrementalization
+// with relative boundedness guarantees (§4).
+//
+// A fixpoint algorithm A maintains one status variable per Var, updated by
+// a per-variable update function f_x over an input set Y_x, driven by a
+// step function that propagates changes through a scope (worklist) until no
+// variable changes. When A is contracting and monotonic w.r.t. a partial
+// order ≼ (condition C2), an incremental algorithm A_Δ is deduced by
+// running the initial scope function h of Fig. 4 — which revises
+// potentially infeasible variables in the order <_C derived from the batch
+// run's timestamps — and then resuming A's own step function from the
+// produced status D⁰ and scope H⁰ (Theorem 3).
+//
+// The Engine in this package is that machinery, generic over the value
+// domain. SSSP, CC, and Sim instantiate it directly; DFS and LCC follow
+// the same design with specialized code (as the paper does in §5).
+package fixpoint
+
+import "time"
+
+// Var identifies a status variable in Ψ_A. Instances map graph nodes
+// (SSSP, CC) or node pairs (Sim) to dense Var ids.
+type Var int32
+
+// Policy selects the step function's worklist order.
+type Policy int
+
+const (
+	// FIFOOrder processes the scope first-in first-out (CC, Sim).
+	FIFOOrder Policy = iota
+	// PriorityOrder pops the variable with the ≼-least current value
+	// first, generalizing Dijkstra's extraction order (SSSP).
+	PriorityOrder
+)
+
+// Instance defines one fixpoint algorithm: its status variables, value
+// domain with the partial order ≼, update functions and their input sets.
+// Values move downward in ≼ during the run: final ≼ ... ≼ initial
+// (equation (4) of the paper); Bottom is the ≼-greatest ("initial") value.
+//
+// An Instance is evaluated against the current state of its underlying
+// graph: after the graph is updated by ΔG, the same Instance describes the
+// fixpoint computation on G ⊕ ΔG.
+type Instance[V any] interface {
+	// NumVars returns |Ψ_A|; Vars are 0..NumVars()-1.
+	NumVars() int
+	// Bottom returns the initial value x⊥ of variable x.
+	Bottom(x Var) V
+	// Less reports a ≺ b, the strict partial order on the domain; smaller
+	// is closer to the final value.
+	Less(a, b V) bool
+	// Equal reports value equality.
+	Equal(a, b V) bool
+	// Inputs calls yield for each variable in the input set Y_x.
+	Inputs(x Var, yield func(Var))
+	// Dependents calls yield for each variable z with x ∈ Y_z.
+	Dependents(x Var, yield func(Var))
+	// Update evaluates f_x(Y_x), reading input values through get.
+	Update(x Var, get func(Var) V) V
+	// Seeds calls yield for each variable in the initial scope H⁰ of a
+	// batch run: the variables whose logical statements σ may be false
+	// initially.
+	Seeds(yield func(Var))
+}
+
+// Stats counts the data inspected by a run. Relative boundedness (§4) is a
+// statement about these counters: for the incremental run they must be a
+// function of |ΔG| and |AFF|, not of |G|.
+type Stats struct {
+	Reads     int64 // status-variable reads by update functions
+	Updates   int64 // update-function invocations
+	Changes   int64 // value changes (writes)
+	Pops      int64 // scope extractions by the step function
+	HPops     int64 // queue extractions by the scope function h
+	HResets   int64 // variables revised to feasible values by h
+	ScopeSize int64 // |H⁰| produced by h (incremental runs only)
+
+	// HSeconds and ResumeSeconds accumulate wall time spent in the initial
+	// scope function h and in the resumed step function, the split the
+	// paper reports in Exp-2(2).
+	HSeconds      float64
+	ResumeSeconds float64
+}
+
+// Inspected returns the total number of variable inspections, the cost
+// measure of the paper's boundedness analysis.
+func (s Stats) Inspected() int64 { return s.Reads + s.Updates + s.Pops + s.HPops }
+
+// State is the status D_A of a run: the current value and last-change
+// timestamp of every status variable, plus the logical clock. Timestamps
+// are the only auxiliary structure (weak deducibility, §4): they encode the
+// order <_C in which final values were determined.
+type State[V any] struct {
+	Val   []V
+	TS    []int64
+	clock int64
+	Stats Stats
+}
+
+// Relaxer is an optional Instance extension for update functions of meet
+// form, f_x(Y) = ⊓_{y ∈ Y} contribution(y → x), as in SSSP and CC. When
+// implemented, the step function propagates changes by pushing per-edge
+// candidate values instead of fully re-evaluating each dependent —
+// Dijkstra-style relaxation, avoiding the degree-squared cost of pull
+// recomputation around hubs. RelaxOut must agree with Update: the meet of
+// the emitted candidates over x's inputs, together with Bottom, is
+// f_x(Y_x); tests check this consistency.
+type Relaxer[V any] interface {
+	// RelaxOut emits, for each dependent z of x, the candidate value that
+	// x's current value xv contributes to z.
+	RelaxOut(x Var, xv V, emit func(z Var, candidate V))
+}
+
+// Engine couples an Instance with its State and implements both the batch
+// step function and the deduced incremental algorithm. Worklists are
+// allocated once and reused across runs, so incremental rounds cost
+// O(|AFF|), not O(|Ψ|).
+type Engine[V any] struct {
+	inst    Instance[V]
+	relaxer Relaxer[V] // nil when the instance is not meet-form
+	policy  Policy
+	st      *State[V]
+	getFn   func(Var) V
+
+	wl      worklist     // step-function scope
+	hq      *indexedHeap // h's queue, ordered by old timestamps
+	inScope []int64      // epoch marks for H⁰ membership
+	epoch   int64
+}
+
+// New creates an engine for the instance with an empty (all-Bottom) state.
+func New[V any](inst Instance[V], policy Policy) *Engine[V] {
+	n := inst.NumVars()
+	st := &State[V]{Val: make([]V, n), TS: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		st.Val[i] = inst.Bottom(Var(i))
+	}
+	e := &Engine[V]{inst: inst, policy: policy, st: st}
+	e.relaxer, _ = inst.(Relaxer[V])
+	e.getFn = func(x Var) V {
+		e.st.Stats.Reads++
+		return e.st.Val[x]
+	}
+	if policy == PriorityOrder {
+		e.wl = newIndexedHeap(n, func(a, b Var) bool {
+			return e.inst.Less(e.st.Val[a], e.st.Val[b])
+		})
+	} else {
+		e.wl = newFifo(n)
+	}
+	e.hq = newIndexedHeap(n, func(a, b Var) bool {
+		return e.st.TS[a] < e.st.TS[b]
+	})
+	e.inScope = make([]int64, n)
+	return e
+}
+
+// State exposes the engine's status for inspection and for handing the
+// fixpoint D^r to a later incremental run.
+func (e *Engine[V]) State() *State[V] { return e.st }
+
+// Grow extends the state with freshly bottomed variables after the
+// instance's NumVars grew (vertex insertions, §4). New variables carry
+// timestamp 0: their bottom values are trivially feasible.
+func (e *Engine[V]) Grow() {
+	n := e.inst.NumVars()
+	for len(e.st.Val) < n {
+		x := Var(len(e.st.Val))
+		e.st.Val = append(e.st.Val, e.inst.Bottom(x))
+		e.st.TS = append(e.st.TS, 0)
+		e.inScope = append(e.inScope, 0)
+	}
+	e.wl.Grow(n)
+	e.hq.Grow(n)
+}
+
+// Value returns the current value of variable x.
+func (e *Engine[V]) Value(x Var) V { return e.st.Val[x] }
+
+// recompute applies f_x and installs the result; it reports whether the
+// value changed.
+func (e *Engine[V]) recompute(x Var) bool {
+	e.st.Stats.Updates++
+	newv := e.inst.Update(x, e.getFn)
+	if e.inst.Equal(newv, e.st.Val[x]) {
+		return false
+	}
+	e.st.Val[x] = newv
+	e.st.clock++
+	e.st.TS[x] = e.st.clock
+	e.st.Stats.Changes++
+	return true
+}
+
+// install writes a relaxed candidate if it improves on the current value.
+func (e *Engine[V]) install(z Var, cand V) bool {
+	e.st.Stats.Updates++
+	if !e.inst.Less(cand, e.st.Val[z]) {
+		return false
+	}
+	e.st.Val[z] = cand
+	e.st.clock++
+	e.st.TS[z] = e.st.clock
+	e.st.Stats.Changes++
+	return true
+}
+
+// Run executes the batch fixpoint algorithm from the initial status: it
+// seeds the scope with the instance's Seeds and drives the step function
+// until the scope empties (equation (1) of the paper).
+func (e *Engine[V]) Run() {
+	e.inst.Seeds(func(x Var) {
+		e.recompute(x)
+		e.wl.AddOrAdjust(x)
+	})
+	e.drain()
+}
+
+// drain is the step function f_A iterated to the fixpoint: it pops a
+// variable from the scope and propagates its value to its dependents —
+// by pushing per-edge candidates when the instance is meet-form, by full
+// re-evaluation otherwise — extending the scope with every dependent
+// whose value changed.
+func (e *Engine[V]) drain() {
+	if e.relaxer != nil {
+		emit := func(z Var, cand V) {
+			if e.install(z, cand) {
+				e.wl.AddOrAdjust(z)
+			}
+		}
+		for {
+			x, ok := e.wl.Pop()
+			if !ok {
+				return
+			}
+			e.st.Stats.Pops++
+			e.relaxer.RelaxOut(x, e.st.Val[x], emit)
+		}
+	}
+	visit := func(z Var) {
+		if e.recompute(z) {
+			e.wl.AddOrAdjust(z)
+		}
+	}
+	for {
+		x, ok := e.wl.Pop()
+		if !ok {
+			return
+		}
+		e.st.Stats.Pops++
+		e.inst.Dependents(x, visit)
+	}
+}
+
+// ResumeFrom drives the step function from an arbitrary scope over the
+// current status. Per Lemma 2, if the status is feasible and the scope is
+// valid w.r.t. it, the computation converges to the (unique) fixpoint for
+// contracting and monotonic instances. Each scope variable is first
+// re-evaluated itself, then propagated.
+func (e *Engine[V]) ResumeFrom(scope []Var) {
+	for _, x := range scope {
+		e.recompute(x)
+		e.wl.AddOrAdjust(x)
+	}
+	e.drain()
+}
+
+// Touched describes one variable whose input set evolved under ΔG.
+// MaybeInfeasible marks variables whose old value may now be *below* what
+// their update function yields — inputs were removed or weakened — and
+// which h must therefore revise. Variables whose inputs only improved
+// (e.g. the head of an inserted edge in SSSP) keep feasible values: they
+// skip h's queue and go straight into H⁰ for the resumed step function.
+// This is the per-update anchor analysis of §4 (Example 5) that keeps h
+// bounded.
+type Touched struct {
+	X               Var
+	MaybeInfeasible bool
+}
+
+// IncrementalRun is the deduced incremental algorithm A_Δ. The underlying
+// graph must already be updated to G ⊕ ΔG; touched lists the variables
+// whose update functions have evolved input sets due to ΔG (line 1 of
+// Fig. 4), conservatively treating every one as potentially infeasible.
+// It applies the initial scope function h to produce a feasible status D⁰
+// and valid scope H⁰, then resumes the batch step function. It returns
+// H⁰.
+func (e *Engine[V]) IncrementalRun(touched []Var) []Var {
+	ts := make([]Touched, len(touched))
+	for i, x := range touched {
+		ts[i] = Touched{X: x, MaybeInfeasible: true}
+	}
+	return e.IncrementalRunDelta(ts, nil)
+}
+
+// IncrementalRunDelta is IncrementalRun with per-variable feasibility
+// hints (see Touched) and push seeds. A push seed is a variable whose
+// outgoing contributions gained strength (e.g. the tail of an inserted
+// edge): its own value is untouched and feasible, so the resumed step
+// function merely re-propagates from it — for meet-form instances a plain
+// relaxation — instead of fully re-evaluating the dependent's update
+// function.
+func (e *Engine[V]) IncrementalRunDelta(touched []Touched, pushSeeds []Var) []Var {
+	start := time.Now()
+	h0 := e.scopeFunction(touched)
+	mid := time.Now()
+	e.st.Stats.ScopeSize = int64(len(h0))
+	for _, x := range h0 {
+		e.recompute(x)
+		e.wl.AddOrAdjust(x)
+	}
+	for _, x := range pushSeeds {
+		e.wl.AddOrAdjust(x)
+	}
+	e.drain()
+	e.st.Stats.HSeconds += mid.Sub(start).Seconds()
+	e.st.Stats.ResumeSeconds += time.Since(mid).Seconds()
+	return h0
+}
+
+// scopeFunction implements h (Fig. 4). It processes potentially infeasible
+// variables in the order <_C — ascending old timestamps — revising each
+// variable whose old value is strictly below what its update function
+// yields on a feasible version of its input set, and propagating along
+// anchor edges (contributors), which always point from smaller to larger
+// timestamps.
+func (e *Engine[V]) scopeFunction(touched []Touched) []Var {
+	st := e.st
+	oldTS := st.TS // frozen: h never stamps, so <_C is the previous run's
+	que := e.hq
+	e.epoch++
+	h0 := make([]Var, 0, len(touched)*2)
+	addH0 := func(x Var) {
+		if e.inScope[x] != e.epoch {
+			e.inScope[x] = e.epoch
+			h0 = append(h0, x)
+		}
+	}
+	for _, t := range touched {
+		addH0(t.X)
+		if t.MaybeInfeasible {
+			que.AddOrAdjust(t.X)
+		}
+	}
+	// Evaluate f_x on the feasible input set Ȳ_x: inputs determined after
+	// x in <_C are reset to their initial values (which are always
+	// feasible); earlier inputs keep their current — already revised,
+	// hence feasible — values. hx carries the variable under revision.
+	var hx Var
+	feasibleGet := func(y Var) V {
+		st.Stats.Reads++
+		if oldTS[hx] < oldTS[y] {
+			return e.inst.Bottom(y)
+		}
+		return st.Val[y]
+	}
+	enqueue := func(z Var) {
+		if oldTS[hx] < oldTS[z] { // hx may be in C_z
+			que.AddOrAdjust(z)
+		}
+	}
+	var revised []Var
+	for {
+		x, ok := que.Pop()
+		if !ok {
+			break
+		}
+		st.Stats.HPops++
+		hx = x
+		st.Stats.Updates++
+		newv := e.inst.Update(x, feasibleGet)
+		if e.inst.Less(st.Val[x], newv) {
+			// x's old value is potentially infeasible for G ⊕ ΔG: revise
+			// it and inspect the variables it contributed to.
+			st.Val[x] = newv
+			st.Stats.HResets++
+			addH0(x)
+			revised = append(revised, x)
+			e.inst.Dependents(x, enqueue)
+		}
+	}
+	// Stamp the revised variables now, in revision order: their values
+	// were re-determined by h, and later rounds' anchor analysis must see
+	// them as the youngest determinations. Stamping after the loop keeps
+	// the order <_C frozen while h runs.
+	for _, x := range revised {
+		st.clock++
+		st.TS[x] = st.clock
+	}
+	return h0
+}
+
+// Fixpoint reports whether the current status is a fixpoint: every
+// variable equals its update function applied to the current values. It
+// costs a full pass and is meant for tests.
+func (e *Engine[V]) Fixpoint() bool {
+	for x := 0; x < e.inst.NumVars(); x++ {
+		v := e.inst.Update(Var(x), func(y Var) V { return e.st.Val[y] })
+		if !e.inst.Equal(v, e.st.Val[x]) {
+			return false
+		}
+	}
+	return true
+}

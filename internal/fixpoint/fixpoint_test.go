@@ -1,0 +1,459 @@
+package fixpoint
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+const inf = int64(math.MaxInt64 / 4)
+
+// minPlus is a test instance: single-source shortest paths in min-plus
+// form over an explicit adjacency structure. It is the engine-level
+// analogue of the paper's Fig. 1 algorithm.
+type minPlus struct {
+	src Var
+	out [][]arc // out[u] = arcs (u -> to, w)
+	in  [][]arc // in[v] = arcs (from -> v, w), from stored in to field
+}
+
+type arc struct {
+	to Var
+	w  int64
+}
+
+func newMinPlus(n int, src Var) *minPlus {
+	return &minPlus{src: src, out: make([][]arc, n), in: make([][]arc, n)}
+}
+
+func (m *minPlus) addEdge(u, v Var, w int64) {
+	m.out[u] = append(m.out[u], arc{v, w})
+	m.in[v] = append(m.in[v], arc{u, w})
+}
+
+func (m *minPlus) delEdge(u, v Var) {
+	rm := func(s []arc, t Var) []arc {
+		for i, a := range s {
+			if a.to == t {
+				return append(s[:i], s[i+1:]...)
+			}
+		}
+		return s
+	}
+	m.out[u] = rm(m.out[u], v)
+	m.in[v] = rm(m.in[v], u)
+}
+
+func (m *minPlus) NumVars() int { return len(m.out) }
+func (m *minPlus) Bottom(x Var) int64 {
+	if x == m.src {
+		return 0
+	}
+	return inf
+}
+func (m *minPlus) Less(a, b int64) bool  { return a < b }
+func (m *minPlus) Equal(a, b int64) bool { return a == b }
+func (m *minPlus) Inputs(x Var, yield func(Var)) {
+	for _, a := range m.in[x] {
+		yield(a.to)
+	}
+}
+func (m *minPlus) Dependents(x Var, yield func(Var)) {
+	for _, a := range m.out[x] {
+		yield(a.to)
+	}
+}
+func (m *minPlus) Update(x Var, get func(Var) int64) int64 {
+	if x == m.src {
+		return 0
+	}
+	best := inf
+	for _, a := range m.in[x] {
+		if d := get(a.to); d < inf && d+a.w < best {
+			best = d + a.w
+		}
+	}
+	return best
+}
+func (m *minPlus) Seeds(yield func(Var)) { yield(m.src) }
+
+// paperGraph reconstructs the graph of the paper's Fig. 2(a) (weights
+// recovered from the values and anchor sets of Fig. 3(a)). Source is 0.
+func paperGraph() *minPlus {
+	m := newMinPlus(8, 0)
+	m.addEdge(0, 2, 1)
+	m.addEdge(2, 1, 4)
+	m.addEdge(2, 5, 1)
+	m.addEdge(5, 6, 1) // deleted by ΔG
+	m.addEdge(1, 4, 1)
+	m.addEdge(4, 3, 1)
+	m.addEdge(6, 7, 1)
+	m.addEdge(2, 7, 4)
+	m.addEdge(4, 6, 4)
+	m.addEdge(3, 1, 1)
+	return m
+}
+
+func TestBatchMatchesPaperExample3(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+	want := []int64{0, 5, 1, 7, 6, 2, 3, 4} // Fig. 3(a), column G
+	got := e.State().Val
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batch values %v, want %v", got, want)
+	}
+	if !e.Fixpoint() {
+		t.Fatal("not a fixpoint")
+	}
+}
+
+func TestIncrementalMatchesPaperExample4(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+
+	// ΔG: delete edge (5,6), insert edge (5,3) with weight 1.
+	m.delEdge(5, 6)
+	m.addEdge(5, 3, 1)
+
+	// Input sets evolved for destination nodes 6 and 3 (Example 4).
+	h0 := e.IncrementalRun([]Var{6, 3})
+
+	want := []int64{0, 4, 1, 3, 5, 2, 9, 5} // Fig. 3(a), column G ⊕ ΔG
+	if !reflect.DeepEqual(e.State().Val, want) {
+		t.Fatalf("incremental values %v, want %v", e.State().Val, want)
+	}
+	// Example 4: h returns H⁰ = {x3, x6, x7}.
+	set := map[Var]bool{}
+	for _, x := range h0 {
+		set[x] = true
+	}
+	if len(set) != 3 || !set[3] || !set[6] || !set[7] {
+		t.Fatalf("H0 = %v, want {3,6,7}", h0)
+	}
+	if !e.Fixpoint() {
+		t.Fatal("incremental result is not a fixpoint")
+	}
+}
+
+func TestIncrementalEqualsFreshBatch(t *testing.T) {
+	// Correctness equation over random graphs and random update batches:
+	// the incremental run must land on the same fixpoint as a from-scratch
+	// batch run on the updated structure.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 40
+		m := newMinPlus(n, 0)
+		type edge struct{ u, v Var }
+		present := map[edge]bool{}
+		for i := 0; i < 120; i++ {
+			u, v := Var(rng.Intn(n)), Var(rng.Intn(n))
+			if u == v || present[edge{u, v}] {
+				continue
+			}
+			present[edge{u, v}] = true
+			m.addEdge(u, v, int64(rng.Intn(20)+1))
+		}
+		e := New[int64](m, PriorityOrder)
+		e.Run()
+
+		touched := map[Var]bool{}
+		// Random ΔG: ~12 deletions and insertions.
+		for i := 0; i < 12; i++ {
+			u, v := Var(rng.Intn(n)), Var(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if present[edge{u, v}] {
+				delete(present, edge{u, v})
+				m.delEdge(u, v)
+			} else {
+				present[edge{u, v}] = true
+				m.addEdge(u, v, int64(rng.Intn(20)+1))
+			}
+			touched[v] = true
+		}
+		var tl []Var
+		for x := range touched {
+			tl = append(tl, x)
+		}
+		e.IncrementalRun(tl)
+
+		fresh := New[int64](m, PriorityOrder)
+		fresh.Run()
+		return reflect.DeepEqual(e.State().Val, fresh.State().Val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessiveIncrementalRounds(t *testing.T) {
+	// Timestamps written by one incremental round must support the next
+	// (weak deducibility is stateful across rounds).
+	rng := rand.New(rand.NewSource(11))
+	const n = 30
+	m := newMinPlus(n, 0)
+	type edge struct{ u, v Var }
+	present := map[edge]bool{}
+	add := func(u, v Var, w int64) {
+		if u != v && !present[edge{u, v}] {
+			present[edge{u, v}] = true
+			m.addEdge(u, v, w)
+		}
+	}
+	for i := 0; i < 90; i++ {
+		add(Var(rng.Intn(n)), Var(rng.Intn(n)), int64(rng.Intn(15)+1))
+	}
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+	for round := 0; round < 25; round++ {
+		touched := map[Var]bool{}
+		for i := 0; i < 5; i++ {
+			u, v := Var(rng.Intn(n)), Var(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if present[edge{u, v}] {
+				delete(present, edge{u, v})
+				m.delEdge(u, v)
+			} else {
+				present[edge{u, v}] = true
+				m.addEdge(u, v, int64(rng.Intn(15)+1))
+			}
+			touched[v] = true
+		}
+		var tl []Var
+		for x := range touched {
+			tl = append(tl, x)
+		}
+		e.IncrementalRun(tl)
+		fresh := New[int64](m, PriorityOrder)
+		fresh.Run()
+		if !reflect.DeepEqual(e.State().Val, fresh.State().Val) {
+			t.Fatalf("round %d: incremental %v != batch %v", round, e.State().Val, fresh.State().Val)
+		}
+	}
+}
+
+func TestLemma2ChurchRosser(t *testing.T) {
+	// From any feasible status (values between final and bottom) with a
+	// valid scope, ResumeFrom converges to the same fixpoint.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 25
+		m := newMinPlus(n, 0)
+		for i := 0; i < 80; i++ {
+			u, v := Var(rng.Intn(n)), Var(rng.Intn(n))
+			if u != v {
+				m.addEdge(u, v, int64(rng.Intn(10)+1))
+			}
+		}
+		e := New[int64](m, PriorityOrder)
+		e.Run()
+		final := append([]int64(nil), e.State().Val...)
+
+		// Perturb upward: reset a random subset to bottom (feasible), and
+		// seed the scope with every variable (trivially valid).
+		for x := 0; x < n; x++ {
+			if rng.Intn(3) == 0 {
+				e.State().Val[x] = m.Bottom(Var(x))
+			}
+		}
+		scope := make([]Var, n)
+		for i := range scope {
+			scope[i] = Var(i)
+		}
+		e.ResumeFrom(scope)
+		return reflect.DeepEqual(e.State().Val, final)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeBoundednessOnPath(t *testing.T) {
+	// On a long path, a weight change near the end must be repaired by
+	// inspecting only the affected suffix, not the whole graph.
+	const n = 10000
+	m := newMinPlus(n, 0)
+	for i := 0; i+1 < n; i++ {
+		m.addEdge(Var(i), Var(i+1), 1)
+	}
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+	batchInspected := e.State().Stats.Inspected()
+
+	// Raise the weight of an edge 20 hops from the end.
+	cut := Var(n - 21)
+	m.delEdge(cut, cut+1)
+	m.addEdge(cut, cut+1, 5)
+	before := e.State().Stats
+	e.IncrementalRun([]Var{cut + 1})
+	incInspected := e.State().Stats.Inspected() - before.Inspected()
+
+	if incInspected*20 > batchInspected {
+		t.Fatalf("incremental inspected %d, batch %d: not bounded by affected area",
+			incInspected, batchInspected)
+	}
+	if e.State().Val[n-1] != int64(n-1)+4 {
+		t.Fatalf("distance wrong after repair: %d", e.State().Val[n-1])
+	}
+}
+
+func TestFIFOPolicyMinLabel(t *testing.T) {
+	// CC-style min-label propagation under FIFO converges to component
+	// minima. Instance: undirected edges, Update = min(own id, neighbors).
+	n := 10
+	adj := make([][]Var, n)
+	connect := func(u, v Var) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	connect(0, 1)
+	connect(1, 2)
+	connect(3, 4)
+	connect(5, 6)
+	connect(6, 7)
+	connect(7, 5)
+	inst := &minLabel{adj: adj}
+	e := New[int64](inst, FIFOOrder)
+	e.Run()
+	want := []int64{0, 0, 0, 3, 3, 5, 5, 5, 8, 9}
+	if !reflect.DeepEqual(e.State().Val, want) {
+		t.Fatalf("components %v, want %v", e.State().Val, want)
+	}
+}
+
+type minLabel struct{ adj [][]Var }
+
+func (m *minLabel) NumVars() int          { return len(m.adj) }
+func (m *minLabel) Bottom(x Var) int64    { return int64(x) }
+func (m *minLabel) Less(a, b int64) bool  { return a < b }
+func (m *minLabel) Equal(a, b int64) bool { return a == b }
+func (m *minLabel) Inputs(x Var, yield func(Var)) {
+	for _, y := range m.adj[x] {
+		yield(y)
+	}
+}
+func (m *minLabel) Dependents(x Var, yield func(Var)) { m.Inputs(x, yield) }
+func (m *minLabel) Update(x Var, get func(Var) int64) int64 {
+	best := int64(x)
+	for _, y := range m.adj[x] {
+		if v := get(y); v < best {
+			best = v
+		}
+	}
+	return best
+}
+func (m *minLabel) Seeds(yield func(Var)) {
+	for x := range m.adj {
+		yield(Var(x))
+	}
+}
+
+// pushMinPlus adds the meet-form fast path to minPlus, exercising the
+// engine's push-based drain.
+type pushMinPlus struct{ *minPlus }
+
+func (m pushMinPlus) RelaxOut(x Var, xv int64, emit func(Var, int64)) {
+	if xv >= inf {
+		return
+	}
+	for _, a := range m.out[x] {
+		emit(a.to, xv+a.w)
+	}
+}
+
+func TestPushModeMatchesPullMode(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 35
+		build := func() *minPlus {
+			r := rand.New(rand.NewSource(seed))
+			m := newMinPlus(n, 0)
+			for i := 0; i < 110; i++ {
+				u, v := Var(r.Intn(n)), Var(r.Intn(n))
+				if u != v {
+					m.addEdge(u, v, int64(r.Intn(20)+1))
+				}
+			}
+			return m
+		}
+		pull := New[int64](build(), PriorityOrder)
+		pull.Run()
+		mp := build()
+		push := New[int64](pushMinPlus{mp}, PriorityOrder)
+		push.Run()
+		if !reflect.DeepEqual(pull.State().Val, push.State().Val) {
+			t.Fatalf("seed %d: push batch != pull batch", seed)
+		}
+		// And incrementally, across several rounds of random updates.
+		mpull := build()
+		epull := New[int64](mpull, PriorityOrder)
+		epull.Run()
+		for round := 0; round < 6; round++ {
+			var touched []Var
+			for i := 0; i < 6; i++ {
+				u, v := Var(rng.Intn(n)), Var(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				w := int64(rng.Intn(20) + 1)
+				has := false
+				for _, a := range mpull.out[u] {
+					if a.to == v {
+						has = true
+						break
+					}
+				}
+				if has {
+					mpull.delEdge(u, v)
+					mp.delEdge(u, v)
+				} else {
+					mpull.addEdge(u, v, w)
+					mp.addEdge(u, v, w)
+				}
+				touched = append(touched, v)
+			}
+			epull.IncrementalRun(touched)
+			push.IncrementalRun(touched)
+			if !reflect.DeepEqual(epull.State().Val, push.State().Val) {
+				t.Fatalf("seed %d round %d: push inc != pull inc", seed, round)
+			}
+			if !push.Fixpoint() {
+				t.Fatalf("seed %d round %d: push inc not a fixpoint", seed, round)
+			}
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+	s := e.State().Stats
+	if s.Updates == 0 || s.Reads == 0 || s.Pops == 0 || s.Changes == 0 {
+		t.Fatalf("stats not recorded: %+v", s)
+	}
+	if s.Inspected() != s.Reads+s.Updates+s.Pops+s.HPops {
+		t.Fatal("Inspected mismatch")
+	}
+}
+
+func TestEmptyIncrementalRun(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+	vals := append([]int64(nil), e.State().Val...)
+	h0 := e.IncrementalRun(nil)
+	if len(h0) != 0 {
+		t.Fatalf("empty ΔG produced H0 = %v", h0)
+	}
+	if !reflect.DeepEqual(vals, e.State().Val) {
+		t.Fatal("empty ΔG changed values")
+	}
+}

@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"incgraph/internal/graph"
+)
+
+// Alphabet is the node-label alphabet size used throughout the paper's
+// synthetic graphs.
+const Alphabet = 5
+
+// Dataset describes a synthetic stand-in for one of the paper's datasets.
+// BaseNodes and AvgDeg are chosen so that, at Scale = 1, each stand-in
+// preserves the relative size ordering and average degree of the original
+// while staying laptop-sized; Build scales node counts linearly.
+type Dataset struct {
+	Name     string // paper's abbreviation: LJ, DP, OKT, TW, FS, WD
+	Kind     string // "powerlaw" or "er"
+	Directed bool
+	// BaseNodes is the node count at scale 1.
+	BaseNodes int
+	// AvgDeg approximates the original's average degree.
+	AvgDeg int
+}
+
+// Datasets lists the six stand-ins in the paper's order.
+var Datasets = []Dataset{
+	{Name: "LJ", Kind: "powerlaw", Directed: true, BaseNodes: 12000, AvgDeg: 14},  // LiveJournal 4.8M/68.9M
+	{Name: "DP", Kind: "powerlaw", Directed: true, BaseNodes: 12000, AvgDeg: 11},  // DBpedia 4.9M/54M
+	{Name: "OKT", Kind: "powerlaw", Directed: false, BaseNodes: 8000, AvgDeg: 38}, // Orkut 3.1M/117M
+	{Name: "TW", Kind: "powerlaw", Directed: true, BaseNodes: 20000, AvgDeg: 33},  // Twitter-2010 41.6M/1.4B
+	{Name: "FS", Kind: "powerlaw", Directed: false, BaseNodes: 24000, AvgDeg: 27}, // Friendster 65.6M/1.8B
+	{Name: "WD", Kind: "powerlaw", Directed: true, BaseNodes: 6000, AvgDeg: 40},   // Wiki-DE 2.1M/86.3M (temporal)
+}
+
+// ByName returns the dataset with the given name.
+func ByName(name string) (Dataset, error) {
+	for _, d := range Datasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
+// Build materializes the stand-in at the given scale with the given seed.
+// Nodes are labeled from the standard alphabet so every query class can run
+// on every dataset.
+func (d Dataset) Build(seed int64, scale float64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(float64(d.BaseNodes) * scale)
+	if n < 16 {
+		n = 16
+	}
+	var g *graph.Graph
+	switch d.Kind {
+	case "er":
+		g = ErdosRenyi(rng, n, n*d.AvgDeg/2, d.Directed)
+	default:
+		g = PowerLaw(rng, n, d.AvgDeg, d.Directed)
+	}
+	AssignLabels(rng, g, Alphabet)
+	return g
+}
+
+// BuildTemporal materializes the dataset as a temporal graph with the given
+// number of monthly windows. Matching the paper's Wiki-DE measurements,
+// each window's update count is ~1.9% of |G| with an 81%/19% insert/delete
+// mix.
+func (d Dataset) BuildTemporal(seed int64, scale float64, windows int) *graph.Temporal {
+	base := d.Build(seed, scale)
+	rng := rand.New(rand.NewSource(seed + 1))
+	perWindow := int(0.019 * float64(base.Size()))
+	if perWindow < 1 {
+		perWindow = 1
+	}
+	return TemporalStream(rng, base, windows, perWindow, 0.81)
+}
+
+// Synthetic builds the scalability-experiment graph of Exp-3: a labeled
+// power-law graph parameterized directly by |V| and average degree.
+func Synthetic(seed int64, nodes, avgDeg int, directed bool) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := PowerLaw(rng, nodes, avgDeg, directed)
+	AssignLabels(rng, g, Alphabet)
+	return g
+}

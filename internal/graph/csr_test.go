@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSnapshotBasic(t *testing.T) {
+	g := New(4, false)
+	g.InsertEdge(0, 2, 1)
+	g.InsertEdge(0, 1, 1)
+	g.InsertEdge(1, 2, 1)
+	c := Snapshot(g)
+	if c.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+	if got := c.Neighbors(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Neighbors(0) = %v, want sorted [1 2]", got)
+	}
+	if c.Degree(3) != 0 || c.Degree(2) != 2 {
+		t.Fatal("degrees wrong")
+	}
+	if !c.HasEdge(1, 0) || c.HasEdge(0, 3) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestCountCommon(t *testing.T) {
+	g := New(5, false)
+	// Triangle 0-1-2 plus pendant 3 on 0, isolated 4.
+	g.InsertEdge(0, 1, 1)
+	g.InsertEdge(1, 2, 1)
+	g.InsertEdge(0, 2, 1)
+	g.InsertEdge(0, 3, 1)
+	c := Snapshot(g)
+	if got := c.CountCommon(0, 1); got != 1 {
+		t.Fatalf("CountCommon(0,1) = %d, want 1", got)
+	}
+	if got := c.CountCommon(0, 4); got != 0 {
+		t.Fatalf("CountCommon(0,4) = %d, want 0", got)
+	}
+	if got := c.CountCommon(3, 1); got != 1 { // common neighbor 0
+		t.Fatalf("CountCommon(3,1) = %d, want 1", got)
+	}
+}
+
+func TestSnapshotMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := New(30, true)
+	g.Apply(randomBatch(rng, 30, 400))
+	c := Snapshot(g)
+	for u := 0; u < 30; u++ {
+		want := make([]NodeID, 0)
+		for _, e := range g.Out(NodeID(u)) {
+			want = append(want, e.To)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := c.Neighbors(NodeID(u))
+		if len(got) != len(want) {
+			t.Fatalf("node %d: degree %d vs %d", u, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %d: neighbors %v vs %v", u, got, want)
+			}
+		}
+	}
+}

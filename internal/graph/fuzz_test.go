@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the graph parser: it must never panic, and anything
+// it accepts must re-serialize and re-parse to an equal graph.
+func FuzzRead(f *testing.F) {
+	f.Add("graph directed 3\nv 1 7\ne 0 1 5\ne 1 2 2\n")
+	f.Add("graph undirected 2\ne 0 1 1\n")
+	f.Add("# comment\n\ngraph directed 0\n")
+	f.Add("graph directed 2\ne 0 1 -5\n")
+	f.Add("e 0 1 1")
+	f.Add("graph directed 999999\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		// Large node counts allocate proportionally; clamp what the fuzzer
+		// may request by inspecting header lines up front.
+		for _, line := range strings.Split(in, "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 3 && fields[0] == "graph" && len(fields[2]) > 6 {
+				return
+			}
+		}
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("serialized graph failed to parse: %v", err)
+		}
+		if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() || h.Directed() != g.Directed() {
+			t.Fatal("round trip changed the graph")
+		}
+		if err := g.CheckConsistent(); err != nil {
+			t.Fatalf("accepted graph inconsistent: %v", err)
+		}
+	})
+}
+
+// FuzzReadBatch exercises the batch parser the same way.
+func FuzzReadBatch(f *testing.F) {
+	f.Add("+ 1 2 3\n- 4 5\n")
+	f.Add("# nothing\n")
+	f.Add("+ -1 -2 -3")
+	f.Fuzz(func(t *testing.T, in string) {
+		if len(in) > 1<<16 {
+			return
+		}
+		b, err := ReadBatch(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBatch(&buf, b); err != nil {
+			t.Fatalf("accepted batch failed to serialize: %v", err)
+		}
+		b2, err := ReadBatch(&buf)
+		if err != nil {
+			t.Fatalf("serialized batch failed to parse: %v", err)
+		}
+		if len(b2) != len(b) {
+			t.Fatal("round trip changed the batch length")
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		directed := seed%2 == 0
+		g := New(25, directed)
+		for v := 0; v < 25; v++ {
+			g.SetLabel(NodeID(v), Label(rng.Intn(4)))
+		}
+		g.Apply(randomBatch(rng, 25, 120))
+
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Directed() != g.Directed() || got.NumNodes() != g.NumNodes() {
+			t.Fatal("shape mismatch")
+		}
+		if !reflect.DeepEqual(edgeSet(got), edgeSet(g)) {
+			t.Fatal("edges mismatch")
+		}
+		for v := 0; v < 25; v++ {
+			if got.Label(NodeID(v)) != g.Label(NodeID(v)) {
+				t.Fatalf("label mismatch at %d", v)
+			}
+		}
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+graph directed 3
+
+v 1 7
+e 0 1 5
+# trailing comment
+e 1 2 2
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(0, 1) != 5 || g.Weight(1, 2) != 2 || g.Label(1) != 7 {
+		t.Fatal("content wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                                   // missing header
+		"e 0 1 5",                            // edge before header
+		"v 0 1",                              // vertex before header
+		"graph directed",                     // malformed header
+		"graph sideways 3",                   // bad kind
+		"graph directed -1",                  // bad count
+		"graph directed 2\ne 0 5 1",          // out of range
+		"graph directed 2\nv 9 1",            // vertex out of range
+		"graph directed 2\ne 0 1",            // malformed edge
+		"graph directed 2\nzz 1 2",           // unknown record
+		"graph directed 2\ngraph directed 2", // duplicate header
+		"graph directed 2\ne 0 1 1\ne 0 1 2", // duplicate edge
+		"graph directed 2\ne 1 1 1",          // self-loop
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("no error for %q", in)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := Batch{
+		{Kind: InsertEdge, From: 1, To: 2, W: 7},
+		{Kind: DeleteEdge, From: 3, To: 0},
+		{Kind: InsertEdge, From: 0, To: 4, W: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != b[0] || got[2] != b[2] {
+		t.Fatalf("round trip = %v", got)
+	}
+	if got[1].Kind != DeleteEdge || got[1].From != 3 || got[1].To != 0 {
+		t.Fatalf("delete round trip = %v", got[1])
+	}
+}
+
+func TestReadBatchTolerant(t *testing.T) {
+	in := "# comment\n\n+ 1 2 3\n- 4 5\n"
+	b, err := ReadBatch(strings.NewReader(in))
+	if err != nil || len(b) != 2 {
+		t.Fatalf("b=%v err=%v", b, err)
+	}
+}
+
+func TestReadBatchErrors(t *testing.T) {
+	for _, in := range []string{"* 1 2", "+ 1 2", "- 1", "+ a b c"} {
+		if _, err := ReadBatch(strings.NewReader(in)); err == nil {
+			t.Fatalf("no error for %q", in)
+		}
+	}
+}
+
+// failAfter errors once n bytes have been written, exercising the
+// serializers' error paths.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errWrite
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errWrite
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "synthetic write failure" }
+
+func TestWriteErrors(t *testing.T) {
+	g := New(5, true)
+	g.SetLabel(1, 3)
+	for v := 0; v < 4; v++ {
+		g.InsertEdge(NodeID(v), NodeID(v+1), 1)
+	}
+	var full bytes.Buffer
+	if _, err := g.WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	// A writer failing at any byte offset must surface an error.
+	for n := 0; n < full.Len(); n += 7 {
+		if _, err := g.WriteTo(&failAfter{n: n}); err == nil {
+			t.Fatalf("no error when failing after %d bytes", n)
+		}
+	}
+	if err := WriteBatch(&failAfter{n: 2}, Batch{{Kind: InsertEdge, From: 0, To: 1, W: 1}}); err == nil {
+		t.Fatal("WriteBatch ignored write failure")
+	}
+	if err := WriteBatch(&failAfter{n: 2}, Batch{{Kind: DeleteEdge, From: 0, To: 1}}); err == nil {
+		t.Fatal("WriteBatch ignored delete write failure")
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	g := New(3, false)
+	g.InsertEdge(0, 1, 1)
+	g.InsertEdge(1, 2, 3)
+	g.SetLabel(2, 9)
+	var a, b bytes.Buffer
+	g.WriteTo(&a)
+	g.WriteTo(&b)
+	if a.String() != b.String() {
+		t.Fatal("serialization not deterministic")
+	}
+	if !strings.Contains(a.String(), "graph undirected 3") {
+		t.Fatalf("header missing: %q", a.String())
+	}
+}

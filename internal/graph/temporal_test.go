@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func demoTemporal() *Temporal {
+	return NewTemporal(4, false, []Label{1, 1, 2, 2}, []Event{
+		{Time: 10, Update: Update{Kind: InsertEdge, From: 0, To: 1, W: 1}},
+		{Time: 20, Update: Update{Kind: InsertEdge, From: 1, To: 2, W: 1}},
+		{Time: 30, Update: Update{Kind: DeleteEdge, From: 0, To: 1}},
+		{Time: 40, Update: Update{Kind: InsertEdge, From: 2, To: 3, W: 1}},
+	})
+}
+
+func TestTemporalSnapshot(t *testing.T) {
+	tp := demoTemporal()
+	g := tp.Snapshot(25)
+	if g.NumEdges() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatalf("snapshot(25) wrong: %d edges", g.NumEdges())
+	}
+	if g.Label(2) != 2 {
+		t.Fatal("labels not applied")
+	}
+	g = tp.Snapshot(35)
+	if g.HasEdge(0, 1) {
+		t.Fatal("deletion not applied at t=35")
+	}
+}
+
+func TestTemporalWindowEvolution(t *testing.T) {
+	tp := demoTemporal()
+	g := tp.Snapshot(15)
+	g.Apply(tp.Window(15, 40))
+	want := edgeSet(tp.Snapshot(40))
+	if !reflect.DeepEqual(edgeSet(g), want) {
+		t.Fatal("snapshot(from) ⊕ window(from,to) != snapshot(to)")
+	}
+}
+
+func TestTemporalWindowBounds(t *testing.T) {
+	tp := demoTemporal()
+	if n := len(tp.Window(10, 30)); n != 2 {
+		t.Fatalf("window (10,30] has %d events, want 2", n)
+	}
+	if n := len(tp.Window(0, 5)); n != 0 {
+		t.Fatalf("empty window has %d events", n)
+	}
+	lo, hi := tp.Span()
+	if lo != 10 || hi != 40 {
+		t.Fatalf("span = (%d,%d)", lo, hi)
+	}
+	empty := NewTemporal(1, false, nil, nil)
+	if lo, hi := empty.Span(); lo != 0 || hi != 0 {
+		t.Fatal("empty span should be (0,0)")
+	}
+}
+
+func TestTemporalEventsSorted(t *testing.T) {
+	tp := NewTemporal(3, true, nil, []Event{
+		{Time: 30, Update: Update{Kind: InsertEdge, From: 0, To: 1, W: 1}},
+		{Time: 10, Update: Update{Kind: InsertEdge, From: 1, To: 2, W: 1}},
+	})
+	g := tp.Snapshot(15)
+	if !g.HasEdge(1, 2) || g.HasEdge(0, 1) {
+		t.Fatal("events not sorted by time")
+	}
+	if tp.NumEvents() != 2 {
+		t.Fatal("NumEvents wrong")
+	}
+}
+
+// Snapshot/window composition is the defining property of the temporal
+// graph: snapshot(a) ⊕ window(a,b) == snapshot(b) for any a <= b, over
+// arbitrary event logs.
+func TestTemporalCompositionQuick(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nodes = 8
+		var events []Event
+		for i := 0; i < 60; i++ {
+			u := Update{From: NodeID(rng.Intn(nodes)), To: NodeID(rng.Intn(nodes)), W: int64(rng.Intn(9) + 1)}
+			if rng.Intn(2) == 0 {
+				u.Kind = DeleteEdge
+			}
+			events = append(events, Event{Time: int64(rng.Intn(20)), Update: u})
+		}
+		tp := NewTemporal(nodes, seed%2 == 0, nil, events)
+		a, b := int64(aRaw%21), int64(bRaw%21)
+		if a > b {
+			a, b = b, a
+		}
+		g := tp.Snapshot(a)
+		g.Apply(tp.Window(a, b))
+		return reflect.DeepEqual(edgeSet(g), edgeSet(tp.Snapshot(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertFraction(t *testing.T) {
+	tp := demoTemporal()
+	got := tp.InsertFraction(0, 40)
+	if got != 0.75 {
+		t.Fatalf("InsertFraction = %v, want 0.75", got)
+	}
+	if tp.InsertFraction(100, 200) != 0 {
+		t.Fatal("empty window fraction should be 0")
+	}
+}

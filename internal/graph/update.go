@@ -1,0 +1,160 @@
+package graph
+
+import "fmt"
+
+// UpdateKind distinguishes the unit update types of the paper: edge
+// insertions and deletions. Vertex updates are expressed as their duals
+// (AddNode/DeleteNode plus edge updates), per §4 of the paper.
+type UpdateKind uint8
+
+const (
+	// InsertEdge adds edge (From, To) with weight W.
+	InsertEdge UpdateKind = iota
+	// DeleteEdge removes edge (From, To); W records the removed weight so
+	// a batch can be reverted.
+	DeleteEdge
+)
+
+// Update is a unit update ΔG: one edge insertion or deletion.
+type Update struct {
+	Kind     UpdateKind
+	From, To NodeID
+	W        int64
+}
+
+// String renders the update in +/-(u,v,w) form.
+func (u Update) String() string {
+	sign := "+"
+	if u.Kind == DeleteEdge {
+		sign = "-"
+	}
+	return fmt.Sprintf("%s(%d,%d,%d)", sign, u.From, u.To, u.W)
+}
+
+// Batch is a batch update: a sequence of unit updates applied in order.
+type Batch []Update
+
+// Size returns |ΔG|, the number of unit updates.
+func (b Batch) Size() int { return len(b) }
+
+// Inverse returns the batch that undoes b: the reverse sequence with each
+// insertion turned into a deletion and vice versa.
+func (b Batch) Inverse() Batch {
+	inv := make(Batch, len(b))
+	for i, u := range b {
+		k := InsertEdge
+		if u.Kind == InsertEdge {
+			k = DeleteEdge
+		}
+		inv[len(b)-1-i] = Update{Kind: k, From: u.From, To: u.To, W: u.W}
+	}
+	return inv
+}
+
+// Apply applies the batch to g in order, computing G ⊕ ΔG in place.
+// It returns the sub-batch of updates that actually changed the graph
+// (inserting a present edge or deleting an absent one is skipped), so the
+// caller can revert with the result's Inverse. Deletions in the returned
+// batch carry the weight of the edge that was removed.
+func (g *Graph) Apply(b Batch) Batch {
+	applied := make(Batch, 0, len(b))
+	for _, u := range b {
+		switch u.Kind {
+		case InsertEdge:
+			if g.InsertEdge(u.From, u.To, u.W) {
+				applied = append(applied, u)
+			}
+		case DeleteEdge:
+			w := g.Weight(u.From, u.To)
+			if g.DeleteEdge(u.From, u.To) {
+				applied = append(applied, Update{Kind: DeleteEdge, From: u.From, To: u.To, W: w})
+			}
+		}
+	}
+	return applied
+}
+
+// TouchedNodes returns the distinct nodes incident to any update in b, the
+// starting points for initial scope functions.
+func (b Batch) TouchedNodes() []NodeID {
+	seen := make(map[NodeID]struct{}, 2*len(b))
+	var out []NodeID
+	for _, u := range b {
+		if _, ok := seen[u.From]; !ok {
+			seen[u.From] = struct{}{}
+			out = append(out, u.From)
+		}
+		if _, ok := seen[u.To]; !ok {
+			seen[u.To] = struct{}{}
+			out = append(out, u.To)
+		}
+	}
+	return out
+}
+
+// Net reduces the batch to its net effect per edge: G ⊕ Net(ΔG) equals
+// G ⊕ ΔG for every graph G of the stated directedness, but churn
+// (insert-then-delete, repeated operations) collapses to at most two
+// updates per edge. Incremental algorithms process Net(ΔG) to avoid wasted
+// work on churn. For undirected graphs, updates on (u, v) and (v, u)
+// address the same edge and are collapsed together.
+func (b Batch) Net(directed bool) Batch {
+	type state uint8
+	const (
+		unknown     state = iota // no op seen yet
+		insIfAbsent              // insert applied to unknown base state
+		absent
+		present
+	)
+	type pairFx struct {
+		st   state
+		w    int64
+		last int // index of last op, for stable output order
+	}
+	key := func(u, v NodeID) uint64 {
+		if !directed && u > v {
+			u, v = v, u
+		}
+		return pack(u, v)
+	}
+	fx := make(map[uint64]*pairFx, len(b))
+	order := make([]uint64, 0, len(b))
+	for i, u := range b {
+		k := key(u.From, u.To)
+		p := fx[k]
+		if p == nil {
+			p = &pairFx{}
+			fx[k] = p
+			order = append(order, k)
+		}
+		p.last = i
+		switch u.Kind {
+		case InsertEdge:
+			switch p.st {
+			case unknown:
+				p.st, p.w = insIfAbsent, u.W
+			case absent:
+				p.st, p.w = present, u.W
+				// insIfAbsent, present: duplicate insert is a no-op.
+			}
+		case DeleteEdge:
+			p.st = absent
+		}
+	}
+	out := make(Batch, 0, len(fx))
+	for _, k := range order {
+		p := fx[k]
+		u, v := NodeID(k>>32), NodeID(uint32(k))
+		switch p.st {
+		case insIfAbsent:
+			out = append(out, Update{Kind: InsertEdge, From: u, To: v, W: p.w})
+		case absent:
+			out = append(out, Update{Kind: DeleteEdge, From: u, To: v})
+		case present:
+			// The edge may have existed with a different weight: replace it.
+			out = append(out, Update{Kind: DeleteEdge, From: u, To: v},
+				Update{Kind: InsertEdge, From: u, To: v, W: p.w})
+		}
+	}
+	return out
+}

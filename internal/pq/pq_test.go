@@ -1,0 +1,106 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapSortsKeys(t *testing.T) {
+	keys := []int64{9, 1, 8, 2, 7, 3}
+	h := New(len(keys), func(a, b int32) bool { return keys[a] < keys[b] })
+	for i := range keys {
+		h.AddOrAdjust(int32(i))
+	}
+	prev := int64(-1)
+	for h.Len() > 0 {
+		x, _ := h.Pop()
+		if keys[x] < prev {
+			t.Fatalf("pop out of order: %d after %d", keys[x], prev)
+		}
+		prev = keys[x]
+	}
+}
+
+func TestHeapAdjustAndGrow(t *testing.T) {
+	keys := []int64{5, 6, 7, 0}
+	h := New(3, func(a, b int32) bool { return keys[a] < keys[b] })
+	h.AddOrAdjust(0)
+	h.AddOrAdjust(1)
+	keys[1] = 1
+	h.AddOrAdjust(1)
+	h.Grow(4)
+	h.AddOrAdjust(3)
+	if x, _ := h.Pop(); x != 3 {
+		t.Fatalf("popped %d, want 3", x)
+	}
+	if x, _ := h.Pop(); x != 1 {
+		t.Fatalf("popped %d, want 1 after decrease-key", x)
+	}
+	if !h.Contains(0) || h.Contains(1) {
+		t.Fatal("Contains wrong")
+	}
+	if _, ok := h.Pop(); !ok {
+		t.Fatal("expected one more element")
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestHeapRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 150
+	keys := make([]int64, n)
+	h := New(n, func(a, b int32) bool { return keys[a] < keys[b] })
+	live := map[int32]bool{}
+	for op := 0; op < 6000; op++ {
+		x := int32(rng.Intn(n))
+		if rng.Intn(3) < 2 {
+			keys[x] = int64(rng.Intn(500))
+			h.AddOrAdjust(x)
+			live[x] = true
+		} else if y, ok := h.Pop(); ok {
+			for z := range live {
+				if keys[z] < keys[y] {
+					t.Fatalf("popped key %d but %d live", keys[y], keys[z])
+				}
+			}
+			delete(live, y)
+		}
+	}
+	if h.Len() != len(live) {
+		t.Fatalf("Len %d != model %d", h.Len(), len(live))
+	}
+}
+
+// TestHeapSortProperty: draining a heap after arbitrary add-or-adjust
+// traffic yields keys in nondecreasing order — the heap invariant as a
+// testing/quick property.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 60
+		keys := make([]int64, n)
+		h := New(n, func(a, b int32) bool { return keys[a] < keys[b] })
+		for op := 0; op < 300; op++ {
+			x := int32(rng.Intn(n))
+			keys[x] = int64(rng.Intn(1000))
+			h.AddOrAdjust(x)
+		}
+		prev := int64(-1)
+		for {
+			x, ok := h.Pop()
+			if !ok {
+				return true
+			}
+			if keys[x] < prev {
+				return false
+			}
+			prev = keys[x]
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

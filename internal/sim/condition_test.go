@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"incgraph/internal/fixpoint"
+)
+
+// TestConditionC2 certifies condition (C2) for the Sim instance under the
+// order false ≺ true (Theorem 3 preconditions; §5.1's analysis).
+func TestConditionC2(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, q := randomInputs(seed, 40, 150)
+		inst := NewInstance(g, q)
+		if !fixpoint.CheckContracting[bool](inst) {
+			t.Fatalf("seed %d: not contracting", seed)
+		}
+		eng := fixpoint.New[bool](inst, fixpoint.FIFOOrder)
+		eng.Run()
+		rng := rand.New(rand.NewSource(seed))
+		if !fixpoint.CheckMonotonic[bool](inst, eng.State(), rng, 300) {
+			t.Fatalf("seed %d: not monotonic", seed)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package sim
+
+import "incgraph/internal/graph"
+
+// simState is the shared counter machinery of Sim_fp and IncMatch: the
+// relation bitmap plus cnt(v, u') = number of v's out-neighbors matching
+// u', with the violation cascade that retracts unsupported matches.
+type simState struct {
+	g, q *graph.Graph
+	nq   int
+	r    []bool
+	cnt  []int32
+
+	// ts, when non-nil, records per pair the time it turned false —
+	// tsTrue while true. It is the auxiliary timestamp structure of the
+	// weakly deducible IncSim; IncMatch and Sim_fp leave it nil.
+	ts    []int64
+	clock int64
+}
+
+// tsTrue is the timestamp of pairs that are currently true (x[v,u].t = ∞
+// in the paper's notation).
+const tsTrue = int64(1) << 62
+
+func newSimState(g, q *graph.Graph, withTS bool) *simState {
+	s := &simState{g: g, q: q, nq: q.NumNodes()}
+	n := g.NumNodes()
+	s.r = make([]bool, n*s.nq)
+	s.cnt = make([]int32, n*s.nq)
+	for v := 0; v < n; v++ {
+		for u := 0; u < s.nq; u++ {
+			s.r[v*s.nq+u] = g.Label(graph.NodeID(v)) == q.Label(graph.NodeID(u))
+		}
+	}
+	if withTS {
+		s.ts = make([]int64, n*s.nq)
+		for i, b := range s.r {
+			if b {
+				s.ts[i] = tsTrue
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, ge := range g.Out(graph.NodeID(v)) {
+			for u := 0; u < s.nq; u++ {
+				if s.r[int(ge.To)*s.nq+u] {
+					s.cnt[v*s.nq+u]++
+				}
+			}
+		}
+	}
+	var p [][2]int32
+	for v := 0; v < n; v++ {
+		for u := 0; u < s.nq; u++ {
+			if s.cnt[v*s.nq+u] == 0 {
+				p = append(p, [2]int32{int32(v), int32(u)})
+			}
+		}
+	}
+	s.cascade(p)
+	return s
+}
+
+// grow extends the pair tables after vertex insertions.
+func (s *simState) grow() {
+	n := s.g.NumNodes()
+	for len(s.r) < n*s.nq {
+		v := len(s.r) / s.nq
+		u := len(s.r) % s.nq
+		match := s.g.Label(graph.NodeID(v)) == s.q.Label(graph.NodeID(u))
+		s.r = append(s.r, match)
+		s.cnt = append(s.cnt, 0)
+		if s.ts != nil {
+			if match {
+				s.ts = append(s.ts, tsTrue)
+			} else {
+				s.ts = append(s.ts, 0)
+			}
+		}
+	}
+}
+
+// cascade retracts matches transitively from the exhausted (v, u') pairs,
+// stamping turn-off times when timestamps are enabled.
+func (s *simState) cascade(p [][2]int32) {
+	for len(p) > 0 {
+		pair := p[len(p)-1]
+		p = p[:len(p)-1]
+		v, uPrime := pair[0], pair[1]
+		for _, qe := range s.q.In(graph.NodeID(uPrime)) {
+			u := int32(qe.To)
+			if !s.r[int(v)*s.nq+int(u)] {
+				continue
+			}
+			s.r[int(v)*s.nq+int(u)] = false
+			if s.ts != nil {
+				s.clock++
+				s.ts[int(v)*s.nq+int(u)] = s.clock
+			}
+			for _, ge := range s.g.In(graph.NodeID(v)) {
+				i := int(ge.To)*s.nq + int(u)
+				s.cnt[i]--
+				if s.cnt[i] == 0 {
+					p = append(p, [2]int32{int32(ge.To), u})
+				}
+			}
+		}
+	}
+}
+
+// relation copies the current bitmap.
+func (s *simState) relation() Relation {
+	return Relation{NQ: s.nq, Bits: append([]bool(nil), s.r...)}
+}
+
+// IncMatch is the fine-tuned incremental simulation competitor in the
+// style of Fan, Wang and Wu (TODS 2013): deletions cascade through the
+// counters exactly; insertions re-run the batch refinement on an affected
+// ball around the inserted edges. For DAG patterns a ball of depth |V_Q|
+// is exact, since a pair's match status depends only on out-paths no
+// longer than the pattern's height; cyclic patterns can propagate new
+// matches arbitrarily far, so IncMatch falls back to the full backward
+// closure — the weakness that IncSim's timestamps avoid (§5.1).
+type IncMatch struct {
+	*simState
+	acyclic bool
+	pending graph.Batch
+}
+
+// NewIncMatch computes the initial maximum simulation.
+func NewIncMatch(g, q *graph.Graph) *IncMatch {
+	return &IncMatch{simState: newSimState(g, q, false), acyclic: isDAG(q)}
+}
+
+// isDAG reports whether the pattern has no directed cycle.
+func isDAG(q *graph.Graph) bool {
+	n := q.NumNodes()
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	var visit func(graph.NodeID) bool
+	visit = func(v graph.NodeID) bool {
+		state[v] = 1
+		for _, e := range q.Out(v) {
+			switch state[e.To] {
+			case 1:
+				return false
+			case 0:
+				if !visit(e.To) {
+					return false
+				}
+			}
+		}
+		state[v] = 2
+		return true
+	}
+	for v := 0; v < n; v++ {
+		if state[v] == 0 && !visit(graph.NodeID(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Graph returns the maintained data graph.
+func (m *IncMatch) Graph() *graph.Graph { return m.g }
+
+// Relation returns the current match relation.
+func (m *IncMatch) Relation() Relation { return m.relation() }
+
+// Apply computes G ⊕ ΔG and repairs the relation: counter cascades for
+// deletions, affected-ball recomputation for insertions.
+func (m *IncMatch) Apply(b graph.Batch) int {
+	m.Stage(b)
+	return m.Repair()
+}
+
+// Stage materializes G ⊕ ΔG; see the incremental maintainers' Stage.
+func (m *IncMatch) Stage(b graph.Batch) {
+	m.pending = append(m.pending, m.g.Apply(b.Net(m.g.Directed()))...)
+	m.grow()
+}
+
+// Repair processes the staged updates.
+func (m *IncMatch) Repair() int {
+	applied := m.pending
+	m.pending = nil
+	var offSeeds [][2]int32
+	var inserted []graph.NodeID
+	adjust := func(from, to graph.NodeID, delta int32) {
+		for u := 0; u < m.nq; u++ {
+			if m.r[int(to)*m.nq+u] {
+				i := int(from)*m.nq + u
+				m.cnt[i] += delta
+				if delta < 0 && m.cnt[i] == 0 {
+					offSeeds = append(offSeeds, [2]int32{int32(from), int32(u)})
+				}
+			}
+		}
+	}
+	for _, up := range applied {
+		switch up.Kind {
+		case graph.DeleteEdge:
+			adjust(up.From, up.To, -1)
+			if !m.g.Directed() {
+				adjust(up.To, up.From, -1)
+			}
+		case graph.InsertEdge:
+			adjust(up.From, up.To, 1)
+			inserted = append(inserted, up.From)
+			if !m.g.Directed() {
+				adjust(up.To, up.From, 1)
+				inserted = append(inserted, up.To)
+			}
+		}
+	}
+	m.cascade(offSeeds)
+	affected := 0
+	if len(inserted) > 0 {
+		affected = m.insertRepair(inserted)
+	}
+	return affected
+}
+
+// insertRepair raises candidate pairs in a backward ball around the
+// insertion sites to the label-match over-approximation and re-refines.
+// The ball has depth |V_Q| for DAG patterns (exact: a pair's status
+// depends on out-paths no longer than the pattern height) and is the full
+// backward closure otherwise.
+func (m *IncMatch) insertRepair(sites []graph.NodeID) int {
+	depth := m.q.NumNodes()
+	if !m.acyclic {
+		depth = m.g.NumNodes()
+	}
+	dist := make(map[graph.NodeID]int, len(sites)*4)
+	queue := make([]graph.NodeID, 0, len(sites))
+	for _, s := range sites {
+		if _, ok := dist[s]; !ok {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		d := dist[v]
+		if d >= depth {
+			continue
+		}
+		for _, e := range m.g.In(v) {
+			if _, ok := dist[e.To]; !ok {
+				dist[e.To] = d + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	// Raise in-ball candidate pairs to the label over-approximation.
+	var raised [][2]int32
+	for v := range dist {
+		for u := 0; u < m.nq; u++ {
+			i := int(v)*m.nq + u
+			if !m.r[i] && m.g.Label(v) == m.q.Label(graph.NodeID(u)) {
+				m.r[i] = true
+				raised = append(raised, [2]int32{int32(v), int32(u)})
+			}
+		}
+	}
+	// Account the raises in the counters of in-neighbors.
+	for _, p := range raised {
+		for _, ge := range m.g.In(graph.NodeID(p[0])) {
+			m.cnt[int(ge.To)*m.nq+int(p[1])]++
+		}
+	}
+	// Refine: every raised pair with an exhausted out-requirement seeds
+	// the cascade.
+	var seeds [][2]int32
+	for _, p := range raised {
+		for _, qe := range m.q.Out(graph.NodeID(p[1])) {
+			if m.cnt[int(p[0])*m.nq+int(qe.To)] == 0 {
+				seeds = append(seeds, [2]int32{p[0], int32(qe.To)})
+			}
+		}
+	}
+	m.cascade(seeds)
+	return len(raised)
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"time"
+
+	"incgraph/internal/fixpoint"
+	"incgraph/internal/graph"
+	"incgraph/internal/pq"
+)
+
+// Inc is the weakly deducible incremental algorithm IncSim of §5.1, built
+// on the same counters and logic as Sim_fp plus one auxiliary structure:
+// a timestamp x[v,u].t per pair recording when it turned false. The
+// timestamps supply the anchor order <_C, letting the initial scope
+// function h of Fig. 4 repair insertions correctly even on cyclic
+// patterns, where pure from-below propagation fails (Example 6).
+//
+// The generic-engine equivalent is IncEngine; both compute the same
+// relation (tests cross-check them), but Inc propagates through counters
+// the way Sim_fp does and is the implementation the benchmarks exercise.
+type Inc struct {
+	*simState
+	hq      *pq.Heap
+	inH0    []int64
+	epoch   int64
+	stats   fixpoint.Stats
+	pending graph.Batch
+}
+
+// NewInc computes the initial maximum simulation with timestamp recording
+// and returns the algorithm.
+func NewInc(g, q *graph.Graph) *Inc {
+	s := newSimState(g, q, true)
+	i := &Inc{simState: s, inH0: make([]int64, len(s.r))}
+	i.hq = pq.New(len(s.r), func(a, b int32) bool { return i.ts[a] < i.ts[b] })
+	return i
+}
+
+// Graph returns the maintained data graph.
+func (i *Inc) Graph() *graph.Graph { return i.g }
+
+// Relation returns the current match relation.
+func (i *Inc) Relation() Relation { return i.relation() }
+
+// Stats exposes inspection counters and the h/resume time split.
+func (i *Inc) Stats() fixpoint.Stats { return i.stats }
+
+// Apply computes G ⊕ ΔG and incrementally maintains the relation: it
+// adjusts the counters for the structural changes, runs the initial scope
+// function h over the touched pairs in the order <_C, and resumes the
+// counter cascade of Sim_fp on the produced scope H⁰. It returns |H⁰|.
+func (i *Inc) Apply(b graph.Batch) int {
+	i.Stage(b)
+	return i.Repair()
+}
+
+// Stage materializes G ⊕ ΔG without repairing the relation, letting
+// benchmarks time Repair separately from the graph mutation every method
+// needs.
+func (i *Inc) Stage(b graph.Batch) {
+	i.pending = append(i.pending, i.g.Apply(b.Net(i.g.Directed()))...)
+	i.grow()
+	for len(i.inH0) < len(i.r) {
+		i.inH0 = append(i.inH0, 0)
+	}
+	i.hq.Grow(len(i.r))
+}
+
+// Repair runs the incremental algorithm over the staged updates.
+func (i *Inc) Repair() int {
+	applied := i.pending
+	i.pending = nil
+	var touched []int32
+	var infeasible []bool
+	vpos := make(map[graph.NodeID]int)
+	i.epoch++
+	// Insertions can raise pairs (more support, the infeasible direction
+	// for Sim, where false ≺ true); deletions only retract and are left
+	// to the resumed cascade.
+	touch := func(v graph.NodeID, mayRaise bool) {
+		if p, ok := vpos[v]; ok {
+			if mayRaise {
+				for u := 0; u < i.nq; u++ {
+					infeasible[p+u] = true
+				}
+			}
+			return
+		}
+		vpos[v] = len(touched)
+		for u := 0; u < i.nq; u++ {
+			x := int32(int(v)*i.nq + u)
+			i.inH0[x] = i.epoch
+			touched = append(touched, x)
+			infeasible = append(infeasible, mayRaise)
+		}
+	}
+	adjust := func(from, to graph.NodeID, delta int32) {
+		for u := 0; u < i.nq; u++ {
+			if i.r[int(to)*i.nq+u] {
+				i.cnt[int(from)*i.nq+u] += delta
+			}
+		}
+	}
+	for _, up := range applied {
+		delta := int32(1)
+		if up.Kind == graph.DeleteEdge {
+			delta = -1
+		}
+		adjust(up.From, up.To, delta)
+		if !i.g.Directed() {
+			adjust(up.To, up.From, delta)
+		}
+		// The input sets of the changed edge's source pairs evolved; for
+		// undirected data graphs the other endpoint's pairs too.
+		mayRaise := up.Kind == graph.InsertEdge
+		touch(up.From, mayRaise)
+		if !i.g.Directed() {
+			touch(up.To, mayRaise)
+		}
+	}
+	if len(touched) == 0 {
+		return 0
+	}
+	start := time.Now()
+	h0 := i.scopeFunction(touched, infeasible)
+	mid := time.Now()
+	i.resume(h0)
+	i.stats.ScopeSize = int64(len(h0))
+	i.stats.HSeconds += mid.Sub(start).Seconds()
+	i.stats.ResumeSeconds += time.Since(mid).Seconds()
+	return len(h0)
+}
+
+// scopeFunction is h (Fig. 4) specialized to Sim: pairs are revised in
+// ascending turn-off time; a popped false pair whose simulation condition
+// holds on its feasible input set — later-determined inputs replaced by
+// their label-match bottoms — is potentially infeasible and is raised back
+// to true, propagating to the dependent pairs it may anchor.
+func (i *Inc) scopeFunction(touched []int32, infeasible []bool) []int32 {
+	h0 := append([]int32(nil), touched...)
+	for j, x := range touched {
+		if infeasible[j] && !i.r[x] {
+			i.hq.AddOrAdjust(x)
+		}
+	}
+	for {
+		x, ok := i.hq.Pop()
+		if !ok {
+			break
+		}
+		i.stats.HPops++
+		if i.r[x] {
+			continue // true pairs are at the bottom already: feasible
+		}
+		v := graph.NodeID(int(x) / i.nq)
+		u := graph.NodeID(int(x) % i.nq)
+		if i.g.Label(v) != i.q.Label(u) {
+			continue
+		}
+		tsx := i.ts[x]
+		if !i.feasibleCond(v, u, tsx) {
+			continue
+		}
+		// Potentially infeasible: raise the pair back to true.
+		i.r[x] = true
+		i.ts[x] = tsTrue
+		i.stats.HResets++
+		if i.inH0[x] != i.epoch {
+			i.inH0[x] = i.epoch
+			h0 = append(h0, x)
+		}
+		for _, ge := range i.g.In(v) {
+			i.cnt[int(ge.To)*i.nq+int(u)]++
+		}
+		// Enqueue dependents that x may anchor: pairs over in-neighbors
+		// with larger turn-off times.
+		for _, ge := range i.g.In(v) {
+			for _, qe := range i.q.In(u) {
+				z := int32(int(ge.To)*i.nq + int(qe.To))
+				if !i.r[z] && i.ts[z] > tsx {
+					i.hq.AddOrAdjust(z)
+				}
+			}
+		}
+	}
+	return h0
+}
+
+// feasibleCond evaluates the simulation condition for (v, u) on the
+// feasible input set Ȳ: inputs determined after tsx are replaced by their
+// label-match bottoms.
+func (i *Inc) feasibleCond(v, u graph.NodeID, tsx int64) bool {
+	for _, qe := range i.q.Out(u) {
+		found := false
+		for _, ge := range i.g.Out(v) {
+			p := int(ge.To)*i.nq + int(qe.To)
+			i.stats.Reads++
+			if i.ts[p] > tsx {
+				// Determined after (v, u): use the bottom value.
+				if i.g.Label(ge.To) == i.q.Label(qe.To) {
+					found = true
+					break
+				}
+				continue
+			}
+			if i.r[p] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// resume is the step function of Sim_fp run from the scope H⁰: every
+// scope pair with an exhausted requirement counter seeds the usual
+// violation cascade.
+func (i *Inc) resume(h0 []int32) {
+	var seeds [][2]int32
+	for _, x := range h0 {
+		v := int32(int(x) / i.nq)
+		u := graph.NodeID(int(x) % i.nq)
+		if !i.r[x] {
+			continue
+		}
+		for _, qe := range i.q.Out(u) {
+			if i.cnt[int(v)*i.nq+int(qe.To)] == 0 {
+				seeds = append(seeds, [2]int32{v, int32(qe.To)})
+			}
+		}
+	}
+	i.cascade(seeds)
+}

@@ -1,0 +1,31 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+
+	"incgraph/internal/fixpoint"
+	"incgraph/internal/gen"
+)
+
+// TestConditionC2 certifies the paper's condition (C2) for the SSSP
+// instance — contracting and monotonic — plus the consistency of its
+// relaxation fast path, the preconditions of Theorem 3.
+func TestConditionC2(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(rng, 50, 200, true)
+		inst := &Instance{G: g, Src: 0}
+		if !fixpoint.CheckContracting[int64](inst) {
+			t.Fatalf("seed %d: not contracting", seed)
+		}
+		eng := fixpoint.New[int64](inst, fixpoint.PriorityOrder)
+		eng.Run()
+		if !fixpoint.CheckMonotonic[int64](inst, eng.State(), rng, 300) {
+			t.Fatalf("seed %d: not monotonic", seed)
+		}
+		if !fixpoint.CheckRelaxerConsistency[int64](inst, eng.State()) {
+			t.Fatalf("seed %d: RelaxOut disagrees with Update", seed)
+		}
+	}
+}

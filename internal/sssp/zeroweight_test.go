@@ -1,0 +1,69 @@
+package sssp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"incgraph/internal/graph"
+)
+
+// Zero-weight edges tie distances, so the "anchors are strictly earlier"
+// shortcut degenerates: h must stay correct (ties are treated as
+// later-determined, a conservative but sound choice).
+
+func randomZeroWeightGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	g := graph.New(n, true)
+	for g.NumEdges() < m {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		g.InsertEdge(u, v, int64(rng.Intn(3))) // weights 0..2
+	}
+	return g
+}
+
+func TestTunedZeroWeights(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomZeroWeightGraph(rng, 50, 180)
+		inc := NewInc(g, 0)
+		for round := 0; round < 8; round++ {
+			var b graph.Batch
+			for i := 0; i < 15; i++ {
+				u := graph.NodeID(rng.Intn(50))
+				v := graph.NodeID(rng.Intn(50))
+				if g.HasEdge(u, v) {
+					b = append(b, graph.Update{Kind: graph.DeleteEdge, From: u, To: v})
+				} else {
+					b = append(b, graph.Update{Kind: graph.InsertEdge, From: u, To: v, W: int64(rng.Intn(3))})
+				}
+			}
+			inc.Apply(b)
+			if !reflect.DeepEqual(inc.Dist(), BellmanFord(inc.Graph(), 0)) {
+				t.Fatalf("seed %d round %d: zero-weight distances diverged", seed, round)
+			}
+		}
+	}
+}
+
+func TestEngineZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomZeroWeightGraph(rng, 40, 140)
+	inc := NewIncEngine(g, 0)
+	for round := 0; round < 8; round++ {
+		var b graph.Batch
+		for i := 0; i < 12; i++ {
+			u := graph.NodeID(rng.Intn(40))
+			v := graph.NodeID(rng.Intn(40))
+			if g.HasEdge(u, v) {
+				b = append(b, graph.Update{Kind: graph.DeleteEdge, From: u, To: v})
+			} else {
+				b = append(b, graph.Update{Kind: graph.InsertEdge, From: u, To: v, W: int64(rng.Intn(2))})
+			}
+		}
+		inc.Apply(b)
+		if !reflect.DeepEqual(inc.Dist(), BellmanFord(inc.Graph(), 0)) {
+			t.Fatalf("round %d: engine zero-weight distances diverged", round)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package incgraph
+
+import "math/rand"
+
+// newRNG builds the deterministic random source used by the workload
+// helpers.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
