@@ -26,66 +26,97 @@ import (
 	"incgraph"
 )
 
-func main() {
-	var (
-		algo      = flag.String("algo", "", "query class: sssp|cc|sim|dfs|lcc|bc")
-		graphPath = flag.String("graph", "", "graph file (labeled edge-list format)")
-		pattern   = flag.String("pattern", "", "pattern graph file (sim only)")
-		updates   = flag.String("updates", "", "update batch file to apply incrementally")
-		src       = flag.Int("src", 0, "source node (sssp only)")
-		quiet     = flag.Bool("quiet", false, "print timings only, not per-node results")
+// validAlgos names the supported query classes, the values -algo accepts.
+var validAlgos = map[string]bool{
+	"sssp": true, "cc": true, "sim": true, "dfs": true, "lcc": true, "bc": true,
+}
 
-		genKind    = flag.String("gen", "", "emit a synthetic graph instead: powerlaw|grid")
-		genNodes   = flag.Int("nodes", 1000, "synthetic node count")
-		genDeg     = flag.Int("deg", 8, "synthetic average degree")
-		genDirect  = flag.Bool("directed", false, "synthetic graph directed")
-		genSeed    = flag.Int64("seed", 1, "synthetic seed")
-		genUpdates = flag.Int("genupdates", 0, "emit N random updates for -graph instead")
+func main() {
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cliMain is main with its environment made explicit, so tests can drive
+// the CLI end to end. Exit codes: 0 ok, 1 runtime error, 2 usage error.
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("incgraph", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		algo      = fs.String("algo", "", "query class: sssp|cc|sim|dfs|lcc|bc")
+		graphPath = fs.String("graph", "", "graph file (labeled edge-list format)")
+		pattern   = fs.String("pattern", "", "pattern graph file (sim only)")
+		updates   = fs.String("updates", "", "update batch file to apply incrementally")
+		src       = fs.Int("src", 0, "source node (sssp only)")
+		quiet     = fs.Bool("quiet", false, "print timings only, not per-node results")
+
+		genKind    = fs.String("gen", "", "emit a synthetic graph instead: powerlaw|grid")
+		genNodes   = fs.Int("nodes", 1000, "synthetic node count")
+		genDeg     = fs.Int("deg", 8, "synthetic average degree")
+		genDirect  = fs.Bool("directed", false, "synthetic graph directed")
+		genSeed    = fs.Int64("seed", 1, "synthetic seed")
+		genUpdates = fs.Int("genupdates", 0, "emit N random updates for -graph instead")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "incgraph:", err)
+		return 1
+	}
 
 	if *genKind != "" {
-		if err := emitGraph(*genKind, *genSeed, *genNodes, *genDeg, *genDirect); err != nil {
-			fatal(err)
+		if err := emitGraph(stdout, *genKind, *genSeed, *genNodes, *genDeg, *genDirect); err != nil {
+			return fatal(err)
 		}
-		return
+		return 0
 	}
 	if *genUpdates > 0 {
 		g, err := loadGraph(*graphPath)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		b := incgraph.RandomUpdates(*genSeed, g, *genUpdates, 0.5)
-		if err := incgraph.WriteBatch(os.Stdout, b); err != nil {
-			fatal(err)
+		if err := incgraph.WriteBatch(stdout, b); err != nil {
+			return fatal(err)
 		}
-		return
+		return 0
+	}
+
+	// Fail fast on a missing or unknown query class, before any input is
+	// loaded: this is a usage error, not a runtime one.
+	if !validAlgos[*algo] {
+		if *algo == "" {
+			fmt.Fprintln(stderr, "incgraph: missing -algo")
+		} else {
+			fmt.Fprintf(stderr, "incgraph: unknown -algo %q\n", *algo)
+		}
+		fmt.Fprintln(stderr, "usage: incgraph -algo sssp|cc|sim|dfs|lcc|bc -graph g.txt [-updates u.txt] [options]")
+		fs.PrintDefaults()
+		return 2
 	}
 
 	g, err := loadGraph(*graphPath)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	var delta incgraph.Batch
 	if *updates != "" {
 		f, err := os.Open(*updates)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		delta, err = incgraph.ReadBatch(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return fatal(err)
+		}
+		if err := delta.Validate(g.NumNodes()); err != nil {
+			return fatal(fmt.Errorf("%s: %v", *updates, err))
 		}
 	}
-	if err := run(os.Stdout, *algo, g, *pattern, incgraph.NodeID(*src), delta, *quiet); err != nil {
-		fatal(err)
+	if err := run(stdout, *algo, g, *pattern, incgraph.NodeID(*src), delta, *quiet); err != nil {
+		return fatal(err)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "incgraph:", err)
-	os.Exit(1)
+	return 0
 }
 
 func loadGraph(path string) (*incgraph.Graph, error) {
@@ -100,7 +131,7 @@ func loadGraph(path string) (*incgraph.Graph, error) {
 	return incgraph.ReadGraph(f)
 }
 
-func emitGraph(kind string, seed int64, nodes, deg int, directed bool) error {
+func emitGraph(w io.Writer, kind string, seed int64, nodes, deg int, directed bool) error {
 	var g *incgraph.Graph
 	switch kind {
 	case "powerlaw":
@@ -114,7 +145,7 @@ func emitGraph(kind string, seed int64, nodes, deg int, directed bool) error {
 	default:
 		return fmt.Errorf("unknown generator %q", kind)
 	}
-	_, err := g.WriteTo(os.Stdout)
+	_, err := g.WriteTo(w)
 	return err
 }
 

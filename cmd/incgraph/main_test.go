@@ -115,6 +115,133 @@ func TestRunUnknownAlgo(t *testing.T) {
 	}
 }
 
+func writeTextFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCLI drives the binary entry point end to end: usage errors (missing
+// or unknown -algo) must exit 2 with a usage message, runtime errors must
+// exit 1, and valid invocations must exit 0.
+func TestCLI(t *testing.T) {
+	graphPath := writeGraphFile(t, demoGraph(true))
+	goodUpdates := writeTextFile(t, "u.txt", "+ 0 2 1\n- 1 2\n")
+	rangeUpdates := writeTextFile(t, "bad.txt", "+ 0 9 1\n")
+	malformed := writeTextFile(t, "mal.txt", "+ 0 1 1\nnot an update\n")
+
+	cases := []struct {
+		name     string
+		args     []string
+		exit     int
+		inStderr string // substring required in stderr, "" to skip
+		inStdout string // substring required in stdout, "" to skip
+	}{
+		{
+			name:     "missing algo",
+			args:     []string{"-graph", graphPath},
+			exit:     2,
+			inStderr: "missing -algo",
+		},
+		{
+			name:     "missing algo prints usage",
+			args:     []string{"-graph", graphPath},
+			exit:     2,
+			inStderr: "usage:",
+		},
+		{
+			name:     "unknown algo",
+			args:     []string{"-algo", "pagerank", "-graph", graphPath},
+			exit:     2,
+			inStderr: `unknown -algo "pagerank"`,
+		},
+		{
+			name:     "unknown algo prints usage",
+			args:     []string{"-algo", "pagerank", "-graph", graphPath},
+			exit:     2,
+			inStderr: "usage:",
+		},
+		{
+			name:     "sssp runs",
+			args:     []string{"-algo", "sssp", "-graph", graphPath},
+			exit:     0,
+			inStdout: "3 6", // node 3 at distance 2+2+2
+		},
+		{
+			name:     "sssp with updates",
+			args:     []string{"-algo", "sssp", "-graph", graphPath, "-updates", goodUpdates},
+			exit:     0,
+			inStdout: "incremental",
+		},
+		{
+			name:     "missing graph",
+			args:     []string{"-algo", "cc"},
+			exit:     1,
+			inStderr: "missing -graph",
+		},
+		{
+			name:     "out-of-range update rejected",
+			args:     []string{"-algo", "sssp", "-graph", graphPath, "-updates", rangeUpdates},
+			exit:     1,
+			inStderr: "out of range",
+		},
+		{
+			name:     "malformed update line numbered",
+			args:     []string{"-algo", "sssp", "-graph", graphPath, "-updates", malformed},
+			exit:     1,
+			inStderr: "line 2",
+		},
+		{
+			name:     "bad flag",
+			args:     []string{"-bogus"},
+			exit:     2,
+			inStderr: "flag provided but not defined",
+		},
+		{
+			name:     "gen powerlaw",
+			args:     []string{"-gen", "powerlaw", "-nodes", "20", "-deg", "3"},
+			exit:     0,
+			inStdout: "graph undirected 20",
+		},
+		{
+			name:     "gen unknown",
+			args:     []string{"-gen", "mystery"},
+			exit:     1,
+			inStderr: "unknown generator",
+		},
+		{
+			name:     "genupdates needs graph",
+			args:     []string{"-genupdates", "5"},
+			exit:     1,
+			inStderr: "missing -graph",
+		},
+		{
+			name:     "genupdates runs",
+			args:     []string{"-genupdates", "5", "-graph", graphPath},
+			exit:     0,
+			inStdout: " ",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := cliMain(tc.args, &stdout, &stderr)
+			if got != tc.exit {
+				t.Fatalf("exit %d, want %d (stderr: %s)", got, tc.exit, stderr.String())
+			}
+			if tc.inStderr != "" && !strings.Contains(stderr.String(), tc.inStderr) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tc.inStderr)
+			}
+			if tc.inStdout != "" && !strings.Contains(stdout.String(), tc.inStdout) {
+				t.Fatalf("stdout %q does not contain %q", stdout.String(), tc.inStdout)
+			}
+		})
+	}
+}
+
 func TestLoadGraph(t *testing.T) {
 	path := writeGraphFile(t, demoGraph(true))
 	g, err := loadGraph(path)

@@ -1,0 +1,200 @@
+// Command incgraphd is a resident incremental-graph service: it pays the
+// batch fixpoint cost once at startup, then keeps the hosted query
+// classes' answers current while ingesting a stream of update batches
+// over HTTP — the serving setting where incrementalization pays off.
+//
+// Usage:
+//
+//	incgraphd -graph g.txt -algos sssp,cc [-src 0] [-listen :8356]
+//	incgraphd -gen powerlaw -nodes 10000 -deg 8 -algos cc,lcc,bc
+//	incgraphd -graph g.txt -algos sim -pattern q.txt
+//
+// API:
+//
+//	POST /update[?algo=<name>][&wait=1]  batch text body ("+ u v w" / "- u v [w]")
+//	GET  /query/{algo}                   current snapshot view (JSON)
+//	GET  /stats                          per-maintainer serving counters (JSON)
+//	GET  /healthz                        liveness
+//
+// Each hosted maintainer owns a private copy of the graph behind a
+// single-writer apply loop; updates are validated, coalesced and batched
+// before one Apply call. On SIGINT/SIGTERM the daemon stops accepting
+// requests, drains every apply queue, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"incgraph"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8356", "HTTP listen address")
+		graphPath = flag.String("graph", "", "graph file (labeled edge-list format)")
+		algos     = flag.String("algos", "", "comma-separated query classes to host: sssp|cc|sim|dfs|lcc|bc")
+		src       = flag.Int("src", 0, "source node (sssp)")
+		pattern   = flag.String("pattern", "", "pattern graph file (sim)")
+
+		genKind   = flag.String("gen", "", "host a synthetic graph instead of -graph: powerlaw|grid")
+		genNodes  = flag.Int("nodes", 1000, "synthetic node count")
+		genDeg    = flag.Int("deg", 8, "synthetic average degree")
+		genDirect = flag.Bool("directed", false, "synthetic graph directed")
+		genSeed   = flag.Int64("seed", 1, "synthetic seed")
+
+		maxBatch = flag.Int("max-batch", 256, "coalescing window: flush after this many updates")
+		maxWait  = flag.Duration("max-wait", 2*time.Millisecond, "coalescing window: flush after this long")
+		queue    = flag.Int("queue", 1024, "per-maintainer submission queue depth")
+	)
+	flag.Parse()
+	if err := run(*listen, *graphPath, *algos, *pattern, *genKind, incgraph.NodeID(*src),
+		*genSeed, *genNodes, *genDeg, *genDirect,
+		incgraph.ServeOptions{MaxBatch: *maxBatch, MaxWait: *maxWait, Queue: *queue}); err != nil {
+		fmt.Fprintln(os.Stderr, "incgraphd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, graphPath, algos, patternPath, genKind string, src incgraph.NodeID,
+	seed int64, nodes, deg int, directed bool, opt incgraph.ServeOptions) error {
+	if algos == "" {
+		return fmt.Errorf("missing -algos (e.g. -algos sssp,cc)")
+	}
+	base, err := loadGraph(graphPath, genKind, seed, nodes, deg, directed)
+	if err != nil {
+		return err
+	}
+	var pat *incgraph.Graph
+	if patternPath != "" {
+		f, err := os.Open(patternPath)
+		if err != nil {
+			return err
+		}
+		pat, err = incgraph.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	svc := incgraph.NewService()
+	for _, algo := range strings.Split(algos, ",") {
+		algo = strings.TrimSpace(algo)
+		if algo == "" {
+			continue
+		}
+		t0 := time.Now()
+		// Every maintainer owns a private clone: maintainers mutate
+		// their graph in Apply and are single-writer objects.
+		m, err := buildServeable(algo, base.Clone(), src, pat)
+		if err != nil {
+			svc.Close()
+			return err
+		}
+		if _, err := svc.Host(m, opt); err != nil {
+			svc.Close()
+			return err
+		}
+		log.Printf("hosted %s: initial batch computation in %v", algo, time.Since(t0).Round(time.Microsecond))
+	}
+
+	srv := &http.Server{Addr: listen, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d nodes, %d edges on %s", base.NumNodes(), base.NumEdges(), listen)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop taking requests first, then drain every
+	// apply queue so accepted updates are not lost.
+	log.Print("shutting down: draining apply queues")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	svc.Close()
+	for _, h := range svc.Hosts() {
+		st := h.Stats()
+		log.Printf("%s: %d updates in %d batches (%d coalesced away), last apply %v",
+			st.Algo, st.UpdatesApplied, st.BatchesApplied, st.UpdatesCoalesced,
+			time.Duration(st.LastApplyNanos).Round(time.Microsecond))
+	}
+	return nil
+}
+
+func loadGraph(path, genKind string, seed int64, nodes, deg int, directed bool) (*incgraph.Graph, error) {
+	switch {
+	case genKind == "powerlaw":
+		return incgraph.PowerLawGraph(seed, nodes, deg, directed), nil
+	case genKind == "grid":
+		side := 1
+		for side*side < nodes {
+			side++
+		}
+		return incgraph.GridGraph(seed, side, side), nil
+	case genKind != "":
+		return nil, fmt.Errorf("unknown generator %q", genKind)
+	case path == "":
+		return nil, fmt.Errorf("missing -graph (or -gen)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return incgraph.ReadGraph(f)
+}
+
+func buildServeable(algo string, g *incgraph.Graph, src incgraph.NodeID, pat *incgraph.Graph) (incgraph.Serveable, error) {
+	switch algo {
+	case "sssp":
+		if int(src) < 0 || int(src) >= g.NumNodes() {
+			return nil, fmt.Errorf("sssp: source %d out of range", src)
+		}
+		return incgraph.ServeSSSP(incgraph.NewIncSSSP(g, src), src), nil
+	case "cc":
+		return incgraph.ServeCC(incgraph.NewIncCC(g)), nil
+	case "sim":
+		if pat == nil {
+			return nil, fmt.Errorf("sim needs -pattern")
+		}
+		return incgraph.ServeSim(incgraph.NewIncSim(g, pat)), nil
+	case "dfs":
+		return incgraph.ServeDFS(incgraph.NewIncDFS(g)), nil
+	case "lcc":
+		if g.Directed() {
+			return nil, fmt.Errorf("lcc needs an undirected graph")
+		}
+		return incgraph.ServeLCC(incgraph.NewIncLCC(g)), nil
+	case "bc":
+		if g.Directed() {
+			return nil, fmt.Errorf("bc needs an undirected graph")
+		}
+		return incgraph.ServeBC(incgraph.NewIncBC(g)), nil
+	default:
+		return nil, fmt.Errorf("unknown algo %q (want sssp|cc|sim|dfs|lcc|bc)", algo)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"incgraph/internal/gen"
 	"incgraph/internal/graph"
 	"incgraph/internal/lcc"
+	"incgraph/internal/serve"
 	"incgraph/internal/sim"
 	"incgraph/internal/sssp"
 )
@@ -166,6 +167,55 @@ type IncBC = bc.Inc
 
 // NewIncBC computes the initial structure and returns the maintainer.
 func NewIncBC(g *Graph) *IncBC { return bc.NewInc(g) }
+
+// Serving layer, re-exported from internal/serve: host maintainers as a
+// resident concurrent service with a single-writer apply loop per
+// maintainer, update coalescing/batching, snapshot-consistent concurrent
+// reads, and an HTTP JSON API (see cmd/incgraphd).
+//
+// Maintainers themselves are NOT goroutine-safe (see the Inc* docs); the
+// Serveable adapters below hand ownership of a maintainer to a Host,
+// after which it must not be touched directly.
+type (
+	// Serveable adapts a maintainer to the serving layer.
+	Serveable = serve.Serveable
+	// ServeHost runs one maintainer behind a single-writer apply loop.
+	ServeHost = serve.Host
+	// ServeOptions tune a host's coalescing window and queue depth.
+	ServeOptions = serve.Options
+	// Service is a set of named hosts behind one HTTP API.
+	Service = serve.Service
+	// ServeView is one immutable published snapshot.
+	ServeView = serve.View
+	// ServeStats are per-host serving counters.
+	ServeStats = serve.Stats
+)
+
+// NewService returns an empty serving layer; register maintainers with
+// (*Service).Host and serve (*Service).Handler.
+func NewService() *Service { return serve.NewService() }
+
+// NewServeHost starts a standalone host (apply loop) for m.
+func NewServeHost(m Serveable, opt ServeOptions) *ServeHost { return serve.NewHost(m, opt) }
+
+// ServeSSSP adapts an SSSP maintainer for serving; src must be the source
+// the maintainer was built with.
+func ServeSSSP(inc *IncSSSP, src NodeID) Serveable { return serve.SSSP(inc, src) }
+
+// ServeCC adapts a connected-components maintainer for serving.
+func ServeCC(inc *IncCC) Serveable { return serve.CC(inc) }
+
+// ServeSim adapts a graph-simulation maintainer for serving.
+func ServeSim(inc *IncSim) Serveable { return serve.Sim(inc) }
+
+// ServeDFS adapts a DFS maintainer for serving.
+func ServeDFS(inc *IncDFS) Serveable { return serve.DFS(inc) }
+
+// ServeLCC adapts a clustering-coefficient maintainer for serving.
+func ServeLCC(inc *IncLCC) Serveable { return serve.LCC(inc) }
+
+// ServeBC adapts a biconnectivity maintainer for serving.
+func ServeBC(inc *IncBC) Serveable { return serve.BC(inc) }
 
 // ReadGraph parses a graph in the labeled edge-list text format written by
 // (*Graph).WriteTo.

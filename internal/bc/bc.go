@@ -219,6 +219,12 @@ func sortedNbrs(g *graph.Graph, v graph.NodeID) []graph.NodeID {
 // biconnectivity structure of exactly the connected components touched by
 // ΔG (in G ⊕ ΔG), discovered by traversal from the update endpoints — no
 // global scan.
+//
+// An Inc is not goroutine-safe: it (and the graph it owns) must be
+// driven by a single writer goroutine making every call, reads included —
+// Result aliases state that Apply mutates. Concurrent serving goes
+// through internal/serve, which gives each maintainer one apply loop and
+// publishes immutable snapshots to readers.
 type Inc struct {
 	g       *graph.Graph
 	res     *Result

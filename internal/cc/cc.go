@@ -159,6 +159,12 @@ func CCfp(g *graph.Graph) []int64 {
 // keeps the timestamps recorded by the engine to derive the order <_C and
 // anchor sets, so that deleting an edge inside a component inspects only
 // the truly affected region rather than both sides.
+//
+// An Inc is not goroutine-safe: it (and the graph it owns) must be
+// driven by a single writer goroutine making every call, reads included —
+// Labels aliases engine state that Apply mutates. Concurrent serving
+// goes through internal/serve, which gives each maintainer one apply
+// loop and publishes immutable snapshots to readers.
 type Inc struct {
 	g       *graph.Graph
 	eng     *fixpoint.Engine[int64]

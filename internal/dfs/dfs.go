@@ -197,6 +197,12 @@ func replayFrom(g *graph.Graph, t *Tree, tstar int32) int {
 // Inc is the deduced incremental algorithm IncDFS. It is deducible from
 // DFS_fp: the parent anchors and the order <_C are read off the interval
 // status variables, no timestamps beyond them are needed.
+//
+// An Inc is not goroutine-safe: it (and the graph it owns) must be
+// driven by a single writer goroutine making every call, reads included —
+// Tree aliases state that Apply mutates. Concurrent serving goes through
+// internal/serve, which gives each maintainer one apply loop and
+// publishes immutable snapshots to readers.
 type Inc struct {
 	g       *graph.Graph
 	tree    *Tree

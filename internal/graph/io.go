@@ -52,8 +52,10 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 }
 
 // WriteBatch serializes a batch of updates, one per line: "+ u v w" for
-// insertions, "- u v" for deletions. Comments and blank lines are allowed
-// when reading back.
+// insertions, "- u v" (or "- u v w" when the deletion records the removed
+// weight, as the batches returned by Graph.Apply do) for deletions.
+// Comments and blank lines are allowed when reading back; the format
+// round-trips exactly through ReadBatch.
 func WriteBatch(w io.Writer, b Batch) error {
 	bw := bufio.NewWriter(w)
 	for _, u := range b {
@@ -62,7 +64,11 @@ func WriteBatch(w io.Writer, b Batch) error {
 		case InsertEdge:
 			_, err = fmt.Fprintf(bw, "+ %d %d %d\n", u.From, u.To, u.W)
 		case DeleteEdge:
-			_, err = fmt.Fprintf(bw, "- %d %d\n", u.From, u.To)
+			if u.W != 0 {
+				_, err = fmt.Fprintf(bw, "- %d %d %d\n", u.From, u.To, u.W)
+			} else {
+				_, err = fmt.Fprintf(bw, "- %d %d\n", u.From, u.To)
+			}
 		}
 		if err != nil {
 			return err
@@ -71,7 +77,11 @@ func WriteBatch(w io.Writer, b Batch) error {
 	return bw.Flush()
 }
 
-// ReadBatch parses a batch in the WriteBatch format.
+// ReadBatch parses a batch in the WriteBatch format. Each update is
+// validated as it is parsed (non-negative node ids and weights, see
+// Update.Validate), so a malformed update file fails with a line-numbered
+// error here instead of panicking deep inside a maintainer. Upper node-id
+// bounds depend on the target graph and are checked by Batch.Validate.
 func ReadBatch(r io.Reader) (Batch, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
@@ -84,22 +94,32 @@ func ReadBatch(r io.Reader) (Batch, error) {
 			continue
 		}
 		fields := strings.Fields(text)
+		var upd Update
 		switch {
 		case fields[0] == "+" && len(fields) == 4:
 			var u, v, w int64
 			if _, err := fmt.Sscanf(strings.Join(fields[1:], " "), "%d %d %d", &u, &v, &w); err != nil {
 				return nil, fmt.Errorf("batch: line %d: %v", line, err)
 			}
-			b = append(b, Update{Kind: InsertEdge, From: NodeID(u), To: NodeID(v), W: w})
-		case fields[0] == "-" && len(fields) == 3:
-			var u, v int64
+			upd = Update{Kind: InsertEdge, From: NodeID(u), To: NodeID(v), W: w}
+		case fields[0] == "-" && (len(fields) == 3 || len(fields) == 4):
+			var u, v, w int64
 			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%d %d", &u, &v); err != nil {
 				return nil, fmt.Errorf("batch: line %d: %v", line, err)
 			}
-			b = append(b, Update{Kind: DeleteEdge, From: NodeID(u), To: NodeID(v)})
+			if len(fields) == 4 {
+				if _, err := fmt.Sscanf(fields[3], "%d", &w); err != nil {
+					return nil, fmt.Errorf("batch: line %d: %v", line, err)
+				}
+			}
+			upd = Update{Kind: DeleteEdge, From: NodeID(u), To: NodeID(v), W: w}
 		default:
 			return nil, fmt.Errorf("batch: line %d: malformed update %q", line, text)
 		}
+		if err := upd.Validate(-1); err != nil {
+			return nil, fmt.Errorf("batch: line %d: %v", line, err)
+		}
+		b = append(b, upd)
 	}
 	return b, sc.Err()
 }

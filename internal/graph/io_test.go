@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"testing/quick"
 )
 
 func TestRoundTrip(t *testing.T) {
@@ -104,6 +105,65 @@ func TestBatchRoundTrip(t *testing.T) {
 	}
 }
 
+// The batch text format must round-trip exactly — including the removed
+// weight recorded on deletions (as produced by Graph.Apply), which the
+// writer emits as a fourth field.
+func TestBatchRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := randomBatch(rng, 20, 40)
+		// Give some deletions a recorded weight, as Graph.Apply does.
+		for i := range b {
+			if b[i].Kind == DeleteEdge && rng.Intn(2) == 0 {
+				b[i].W = int64(rng.Intn(50) + 1)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBatch(&buf, b); err != nil {
+			return false
+		}
+		got, err := ReadBatch(&buf)
+		if err != nil {
+			return false
+		}
+		if len(b) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An applied batch serialized to text, read back, and inverted must
+// restore the exact edge set — the crash-recovery path of a service that
+// journals its applied batches.
+func TestSerializedInverseRestores(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(12, seed%2 == 0)
+		g.Apply(randomBatch(rng, 12, 40))
+		before := edgeSet(g)
+		applied := g.Apply(randomBatch(rng, 12, 30))
+		var buf bytes.Buffer
+		if err := WriteBatch(&buf, applied); err != nil {
+			t.Fatal(err)
+		}
+		reread, err := ReadBatch(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(reread, applied) && len(applied) > 0 {
+			t.Fatalf("seed %d: applied batch did not round-trip: %v vs %v", seed, reread, applied)
+		}
+		g.Apply(reread.Inverse())
+		if !reflect.DeepEqual(edgeSet(g), before) {
+			t.Fatalf("seed %d: inverse of serialized batch did not restore the edge set", seed)
+		}
+	}
+}
+
 func TestReadBatchTolerant(t *testing.T) {
 	in := "# comment\n\n+ 1 2 3\n- 4 5\n"
 	b, err := ReadBatch(strings.NewReader(in))
@@ -113,10 +173,31 @@ func TestReadBatchTolerant(t *testing.T) {
 }
 
 func TestReadBatchErrors(t *testing.T) {
-	for _, in := range []string{"* 1 2", "+ 1 2", "- 1", "+ a b c"} {
+	for _, in := range []string{
+		"* 1 2", "+ 1 2", "- 1", "+ a b c",
+		"+ -1 2 3", // negative node id
+		"+ 1 2 -3", // negative weight
+		"- 1 -2",   // negative node id on delete
+	} {
 		if _, err := ReadBatch(strings.NewReader(in)); err == nil {
 			t.Fatalf("no error for %q", in)
 		}
+	}
+	// Errors carry the 1-based line number of the offending update.
+	_, err := ReadBatch(strings.NewReader("# ok\n+ 0 1 2\n+ 1 2 -9\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want line-numbered error, got %v", err)
+	}
+}
+
+func TestReadBatchDeletionWeight(t *testing.T) {
+	b, err := ReadBatch(strings.NewReader("- 3 4 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Update{Kind: DeleteEdge, From: 3, To: 4, W: 7}
+	if len(b) != 1 || b[0] != want {
+		t.Fatalf("got %v, want %v", b, want)
 	}
 }
 

@@ -74,6 +74,39 @@ func (g *Graph) Apply(b Batch) Batch {
 	return applied
 }
 
+// Validate checks that the update is well-formed against a graph with n
+// nodes: both endpoints in [0, n) and a non-negative weight. A negative n
+// skips the upper-bound check, validating only what is knowable without a
+// graph (non-negative ids and weights) — the mode used by ReadBatch, where
+// the target graph is not yet known.
+func (u Update) Validate(n int) error {
+	for _, v := range [2]NodeID{u.From, u.To} {
+		if v < 0 {
+			return fmt.Errorf("negative node id %d", v)
+		}
+		if n >= 0 && int(v) >= n {
+			return fmt.Errorf("node %d out of range [0,%d)", v, n)
+		}
+	}
+	if u.W < 0 {
+		return fmt.Errorf("negative weight %d", u.W)
+	}
+	return nil
+}
+
+// Validate checks every update in the batch against a graph with n nodes
+// (see Update.Validate), reporting the index of the first offender. It is
+// the gate a serving layer runs before handing ΔG to a maintainer, so
+// malformed input fails fast instead of panicking deep inside repair code.
+func (b Batch) Validate(n int) error {
+	for i, u := range b {
+		if err := u.Validate(n); err != nil {
+			return fmt.Errorf("update %d %s: %w", i, u, err)
+		}
+	}
+	return nil
+}
+
 // TouchedNodes returns the distinct nodes incident to any update in b, the
 // starting points for initial scope functions.
 func (b Batch) TouchedNodes() []NodeID {

@@ -3,6 +3,7 @@ package graph
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -120,6 +121,44 @@ func TestBatchNetEquivalent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Batch
+		n    int
+		ok   bool
+	}{
+		{"empty", Batch{}, 5, true},
+		{"in range", Batch{{Kind: InsertEdge, From: 0, To: 4, W: 1}}, 5, true},
+		{"delete with recorded weight", Batch{{Kind: DeleteEdge, From: 1, To: 2, W: 9}}, 5, true},
+		{"from out of range", Batch{{Kind: InsertEdge, From: 5, To: 0, W: 1}}, 5, false},
+		{"to out of range", Batch{{Kind: InsertEdge, From: 0, To: 7, W: 1}}, 5, false},
+		{"negative from", Batch{{Kind: InsertEdge, From: -1, To: 0, W: 1}}, 5, false},
+		{"negative weight", Batch{{Kind: InsertEdge, From: 0, To: 1, W: -2}}, 5, false},
+		{"negative delete weight", Batch{{Kind: DeleteEdge, From: 0, To: 1, W: -2}}, 5, false},
+		{"unknown bound skips range", Batch{{Kind: InsertEdge, From: 1000, To: 2000, W: 1}}, -1, true},
+		{"unknown bound still checks sign", Batch{{Kind: InsertEdge, From: -1, To: 0, W: 1}}, -1, false},
+		{"second update reported", Batch{
+			{Kind: InsertEdge, From: 0, To: 1, W: 1},
+			{Kind: DeleteEdge, From: 0, To: 99},
+		}, 5, false},
+	}
+	for _, tc := range cases {
+		err := tc.b.Validate(tc.n)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate(%d) = %v, want ok=%v", tc.name, tc.n, err, tc.ok)
+		}
+	}
+	// The error names the offending update index.
+	err := Batch{
+		{Kind: InsertEdge, From: 0, To: 1, W: 1},
+		{Kind: InsertEdge, From: 0, To: 9, W: 1},
+	}.Validate(5)
+	if err == nil || !strings.Contains(err.Error(), "update 1") {
+		t.Fatalf("want indexed error, got %v", err)
 	}
 }
 

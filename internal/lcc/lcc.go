@@ -115,6 +115,12 @@ func Run(g *graph.Graph) *Result {
 // edge (u, v) it marks d_u, d_v and λ_w for every w within one hop of u or
 // v as potentially affected, and recomputes exactly those variables with
 // the original update functions — no auxiliary structure at all (§5.3).
+//
+// An Inc is not goroutine-safe: it (and the graph it owns) must be
+// driven by a single writer goroutine making every call, reads included —
+// Result aliases state that Apply mutates. Concurrent serving goes
+// through internal/serve, which gives each maintainer one apply loop and
+// publishes immutable snapshots to readers.
 type Inc struct {
 	g *graph.Graph
 	r *Result

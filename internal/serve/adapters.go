@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"incgraph/internal/bc"
+	"incgraph/internal/cc"
+	"incgraph/internal/dfs"
+	"incgraph/internal/graph"
+	"incgraph/internal/lcc"
+	"incgraph/internal/sim"
+	"incgraph/internal/sssp"
+)
+
+// The adapters below wrap each incremental maintainer as a Serveable.
+// Every Snapshot deep-copies the maintainer's result, because the
+// maintainers alias internal state from their accessors (Dist, Labels, …)
+// and keep mutating it across Apply calls; the copy is what makes the
+// published views immutable.
+
+// SSSPView is the published snapshot of an SSSP maintainer.
+type SSSPView struct {
+	// Src is the source node.
+	Src graph.NodeID `json:"src"`
+	// Dist[v] is the shortest distance from Src to v; graph.Infinity for
+	// unreachable nodes.
+	Dist []int64 `json:"dist"`
+}
+
+type ssspServeable struct {
+	inc *sssp.Inc
+	src graph.NodeID
+}
+
+// SSSP adapts an IncSSSP maintainer.
+func SSSP(inc *sssp.Inc, src graph.NodeID) Serveable {
+	return &ssspServeable{inc: inc, src: src}
+}
+
+func (s *ssspServeable) Algo() string            { return "sssp" }
+func (s *ssspServeable) Graph() *graph.Graph     { return s.inc.Graph() }
+func (s *ssspServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *ssspServeable) Snapshot() any {
+	return SSSPView{Src: s.src, Dist: append([]int64(nil), s.inc.Dist()...)}
+}
+
+// CCView is the published snapshot of a connected-components maintainer.
+type CCView struct {
+	// Labels[v] is the minimum node id of v's (weakly) connected
+	// component.
+	Labels []int64 `json:"labels"`
+}
+
+type ccServeable struct{ inc *cc.Inc }
+
+// CC adapts an IncCC maintainer.
+func CC(inc *cc.Inc) Serveable { return &ccServeable{inc: inc} }
+
+func (s *ccServeable) Algo() string            { return "cc" }
+func (s *ccServeable) Graph() *graph.Graph     { return s.inc.Graph() }
+func (s *ccServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *ccServeable) Snapshot() any {
+	return CCView{Labels: append([]int64(nil), s.inc.Labels()...)}
+}
+
+// SimView is the published snapshot of a graph-simulation maintainer.
+type SimView struct {
+	// NQ is the pattern's node count.
+	NQ int `json:"nq"`
+	// Count is the number of (data node, pattern node) matches in the
+	// maximum simulation.
+	Count int `json:"count"`
+	// Matches[u] lists the data nodes matching pattern node u.
+	Matches [][]graph.NodeID `json:"matches"`
+}
+
+type simServeable struct{ inc *sim.Inc }
+
+// Sim adapts an IncSim maintainer.
+func Sim(inc *sim.Inc) Serveable { return &simServeable{inc: inc} }
+
+func (s *simServeable) Algo() string            { return "sim" }
+func (s *simServeable) Graph() *graph.Graph     { return s.inc.Graph() }
+func (s *simServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *simServeable) Snapshot() any {
+	r := s.inc.Relation()
+	n := len(r.Bits) / r.NQ
+	v := SimView{NQ: r.NQ, Count: r.Count(), Matches: make([][]graph.NodeID, r.NQ)}
+	for u := 0; u < r.NQ; u++ {
+		v.Matches[u] = []graph.NodeID{}
+		for d := 0; d < n; d++ {
+			if r.Match(graph.NodeID(d), graph.NodeID(u)) {
+				v.Matches[u] = append(v.Matches[u], graph.NodeID(d))
+			}
+		}
+	}
+	return v
+}
+
+// DFSView is the published snapshot of a DFS maintainer: the canonical
+// forest as preorder/postorder intervals plus parent pointers.
+type DFSView struct {
+	First  []int32        `json:"first"`
+	Last   []int32        `json:"last"`
+	Parent []graph.NodeID `json:"parent"`
+}
+
+type dfsServeable struct{ inc *dfs.Inc }
+
+// DFS adapts an IncDFS maintainer.
+func DFS(inc *dfs.Inc) Serveable { return &dfsServeable{inc: inc} }
+
+func (s *dfsServeable) Algo() string            { return "dfs" }
+func (s *dfsServeable) Graph() *graph.Graph     { return s.inc.Graph() }
+func (s *dfsServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *dfsServeable) Snapshot() any {
+	t := s.inc.Tree()
+	return DFSView{
+		First:  append([]int32(nil), t.First...),
+		Last:   append([]int32(nil), t.Last...),
+		Parent: append([]graph.NodeID(nil), t.Parent...),
+	}
+}
+
+// LCCView is the published snapshot of a local-clustering-coefficient
+// maintainer.
+type LCCView struct {
+	Deg []int32 `json:"deg"`
+	Tri []int64 `json:"tri"`
+	// Gamma[v] is the local clustering coefficient of v.
+	Gamma []float64 `json:"gamma"`
+}
+
+type lccServeable struct{ inc *lcc.Inc }
+
+// LCC adapts an IncLCC maintainer.
+func LCC(inc *lcc.Inc) Serveable { return &lccServeable{inc: inc} }
+
+func (s *lccServeable) Algo() string            { return "lcc" }
+func (s *lccServeable) Graph() *graph.Graph     { return s.inc.Graph() }
+func (s *lccServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *lccServeable) Snapshot() any {
+	r := s.inc.Result()
+	v := LCCView{
+		Deg:   append([]int32(nil), r.Deg...),
+		Tri:   append([]int64(nil), r.Tri...),
+		Gamma: make([]float64, len(r.Deg)),
+	}
+	for i := range v.Gamma {
+		v.Gamma[i] = r.Gamma(graph.NodeID(i))
+	}
+	return v
+}
+
+// BCView is the published snapshot of a biconnectivity maintainer.
+type BCView struct {
+	// Articulation[v] reports whether v is an articulation point.
+	Articulation []bool `json:"articulation"`
+	// NumComps is the number of biconnected edge components.
+	NumComps int `json:"num_comps"`
+}
+
+type bcServeable struct{ inc *bc.Inc }
+
+// BC adapts an IncBC maintainer.
+func BC(inc *bc.Inc) Serveable { return &bcServeable{inc: inc} }
+
+func (s *bcServeable) Algo() string            { return "bc" }
+func (s *bcServeable) Graph() *graph.Graph     { return s.inc.Graph() }
+func (s *bcServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *bcServeable) Snapshot() any {
+	r := s.inc.Result()
+	return BCView{
+		Articulation: append([]bool(nil), r.Articulation...),
+		NumComps:     r.NumComps(),
+	}
+}

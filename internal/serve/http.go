@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"incgraph/internal/graph"
+)
+
+// Service is a set of named hosts behind one HTTP API:
+//
+//	POST /update[?algo=<name>][&wait=1]  body: batch text ("+ u v w" / "- u v [w]")
+//	GET  /query/{algo}                   current snapshot view, JSON
+//	GET  /stats                          per-host serving counters, JSON
+//	GET  /healthz                        liveness
+//
+// An update with no algo parameter is broadcast to every host: each
+// maintainer owns a private copy of the graph, so the same ΔG must reach
+// all of them to keep their answers describing the same logical graph.
+type Service struct {
+	mu    sync.RWMutex
+	hosts map[string]*Host
+}
+
+// NewService returns an empty service.
+func NewService() *Service {
+	return &Service{hosts: make(map[string]*Host)}
+}
+
+// Host wraps m in a new Host and registers it under its Algo name.
+func (s *Service) Host(m Serveable, opt Options) (*Host, error) {
+	h := NewHost(m, opt)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.hosts[h.Algo()]; dup {
+		h.Close()
+		return nil, fmt.Errorf("serve: duplicate algo %q", h.Algo())
+	}
+	s.hosts[h.Algo()] = h
+	return h, nil
+}
+
+// Get returns the host named algo, or nil.
+func (s *Service) Get(algo string) *Host {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hosts[algo]
+}
+
+// Hosts returns all hosts in algo-name order.
+func (s *Service) Hosts() []*Host {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.hosts))
+	for n := range s.hosts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Host, len(names))
+	for i, n := range names {
+		out[i] = s.hosts[n]
+	}
+	return out
+}
+
+// Close drains and stops every host. The HTTP server should be shut down
+// first so no new submissions race the drain.
+func (s *Service) Close() {
+	for _, h := range s.Hosts() {
+		h.Close()
+	}
+}
+
+// UpdateResult is the JSON response of POST /update.
+type UpdateResult struct {
+	// Accepted is the number of unit updates parsed from the body.
+	Accepted int `json:"accepted"`
+	// Targets lists the algos the batch was submitted to.
+	Targets []string `json:"targets"`
+	// Applied reports whether the request waited for application
+	// (wait=1) rather than returning on enqueue.
+	Applied bool `json:"applied"`
+}
+
+// Handler returns the HTTP API handler.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		stats := make(map[string]Stats)
+		for _, h := range s.Hosts() {
+			stats[h.Algo()] = h.Stats()
+		}
+		writeJSON(w, http.StatusOK, stats)
+	})
+	mux.HandleFunc("GET /query/{algo}", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Get(r.PathValue("algo"))
+		if h == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown algo %q", r.PathValue("algo")))
+			return
+		}
+		writeJSON(w, http.StatusOK, h.View())
+	})
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	return mux
+}
+
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	b, err := graph.ReadBatch(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var targets []*Host
+	if algo := r.URL.Query().Get("algo"); algo != "" {
+		h := s.Get(algo)
+		if h == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown algo %q", algo))
+			return
+		}
+		targets = []*Host{h}
+	} else {
+		targets = s.Hosts()
+	}
+	if len(targets) == 0 {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no hosted maintainers"))
+		return
+	}
+	// Validate against every target up front so a broadcast is
+	// all-or-nothing across hosts.
+	for _, h := range targets {
+		if err := b.Validate(h.NumNodes()); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("algo %s: %w", h.Algo(), err))
+			return
+		}
+	}
+	wait := r.URL.Query().Get("wait") != ""
+	res := UpdateResult{Accepted: len(b), Applied: wait}
+	for _, h := range targets {
+		var err error
+		if wait {
+			err = h.SubmitWait(b)
+		} else {
+			err = h.Submit(b)
+		}
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		res.Targets = append(res.Targets, h.Algo())
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,354 @@
+// Package serve hosts incremental maintainers behind a concurrent
+// service API: a resident process ingests a stream of update batches ΔG
+// while answering queries continuously, which is the setting where the
+// paper's incrementalization pays off — the batch fixpoint cost is paid
+// once at startup, and every subsequent change is absorbed by Apply.
+//
+// The concurrency contract is built on the fact that maintainers
+// (sssp.Inc, cc.Inc, …) are single-writer objects: every maintainer is
+// owned by exactly one apply-loop goroutine, which is the only caller of
+// Apply and Snapshot. Readers never touch the maintainer; they read an
+// immutable snapshot view published after each applied batch.
+//
+// A Host additionally coalesces and batches the update stream before it
+// reaches the maintainer: submissions accumulate until a size or latency
+// budget is hit, and the accumulated batch is reduced with Batch.Net so
+// churn (insert/delete pairs of the same edge, duplicate operations)
+// cancels out instead of being paid for inside the repair machinery. This
+// amortizes the per-batch fixed costs (scope construction, priority-queue
+// setup) that dominate when updates arrive one at a time.
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"sync"
+
+	"incgraph/internal/graph"
+)
+
+// Serveable adapts an incremental maintainer to the service layer. The
+// host guarantees Apply and Snapshot are only ever called from its
+// single apply-loop goroutine, matching the maintainers' one-writer
+// contract; Algo and Graph must be safe to call once at registration.
+type Serveable interface {
+	// Algo names the hosted query class ("sssp", "cc", …); it is the
+	// routing key of the HTTP API.
+	Algo() string
+	// Graph returns the maintained graph, used at registration to learn
+	// the node count (for batch validation) and directedness (for
+	// coalescing). The host never mutates or reads it afterwards.
+	Graph() *graph.Graph
+	// Apply incorporates a (pre-coalesced) batch, returning the
+	// maintainer's affected-area measure.
+	Apply(b graph.Batch) int
+	// Snapshot returns a deep copy of the current result view. The value
+	// must remain valid — and must never be mutated by anyone — after
+	// further Apply calls, because readers retain it without locks.
+	Snapshot() any
+}
+
+// View is one published snapshot: the result of some applied prefix of
+// the update stream. Views are immutable after publication, so any number
+// of readers may share one.
+type View struct {
+	// Algo is the query class that produced the view.
+	Algo string `json:"algo"`
+	// Epoch counts the raw (pre-coalescing) unit updates incorporated,
+	// in submission order: the view is exactly the query answer on
+	// G ⊕ stream[:Epoch]. This is the handle for prefix-consistency
+	// checks and for an eventual epoch-based double-buffer upgrade.
+	Epoch uint64 `json:"epoch"`
+	// Batches counts the coalesced Apply calls behind the view.
+	Batches uint64 `json:"batches"`
+	// Data is the deep-copied, JSON-marshalable result (e.g. SSSPView).
+	Data any `json:"data"`
+}
+
+// Stats are per-host serving counters, exposed on /stats.
+type Stats struct {
+	Algo string `json:"algo"`
+	// Epoch mirrors the published view's epoch.
+	Epoch uint64 `json:"epoch"`
+	// UpdatesReceived counts raw unit updates accepted by Submit.
+	UpdatesReceived uint64 `json:"updates_received"`
+	// UpdatesApplied counts raw unit updates incorporated into the view.
+	UpdatesApplied uint64 `json:"updates_applied"`
+	// UpdatesCoalesced counts updates cancelled before reaching the
+	// maintainer: raw minus net, summed over batches. Nonzero whenever
+	// the stream contained churn inside one batching window.
+	UpdatesCoalesced uint64 `json:"updates_coalesced"`
+	// BatchesApplied counts Apply calls on the maintainer.
+	BatchesApplied uint64 `json:"batches_applied"`
+	// AffectedTotal sums the maintainer's per-Apply affected-area
+	// measure (|H⁰| or equivalent).
+	AffectedTotal int64 `json:"affected_total"`
+	// QueueDepth is the number of received-but-not-yet-applied updates.
+	QueueDepth uint64 `json:"queue_depth"`
+	// Apply latency, nanoseconds.
+	LastApplyNanos  int64 `json:"last_apply_nanos"`
+	MaxApplyNanos   int64 `json:"max_apply_nanos"`
+	TotalApplyNanos int64 `json:"total_apply_nanos"`
+}
+
+// Options tune a host's batching behaviour.
+type Options struct {
+	// MaxBatch flushes the pending batch once it holds this many raw
+	// updates. Default 256.
+	MaxBatch int
+	// MaxWait flushes a nonempty pending batch after this long even if
+	// MaxBatch was not reached — the latency budget. Default 2ms.
+	MaxWait time.Duration
+	// Queue is the submission channel's buffer (backpressure beyond it:
+	// Submit blocks). Default 1024.
+	Queue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.Queue <= 0 {
+		o.Queue = 1024
+	}
+	return o
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: host closed")
+
+type submission struct {
+	b   graph.Batch
+	ack chan struct{}
+}
+
+// Host runs one maintainer behind a single-writer apply loop with
+// snapshot-consistent concurrent reads.
+type Host struct {
+	m    Serveable
+	algo string
+	n    int
+	dir  bool
+	opt  Options
+
+	// viewMu guards the published view pointer. Readers hold it only for
+	// the pointer copy, so they never block the writer for longer than a
+	// pointer swap, and never observe a half-applied batch: the swap
+	// happens strictly after Apply and Snapshot complete.
+	//
+	// Upgrade path: because views are immutable and epoch-stamped, the
+	// RWMutex can be replaced by an atomic.Pointer[View] (a two-slot
+	// epoch/double-buffer scheme degenerates to exactly that when
+	// snapshots are fresh allocations, as here). The mutex is kept for
+	// now so future views may share mutable buffers with the maintainer
+	// under the read lock if snapshot allocation ever shows up in
+	// profiles.
+	viewMu sync.RWMutex
+	view   *View
+
+	statMu sync.Mutex
+	stats  Stats
+
+	// submitMu serializes Submit against Close: Submit sends on in under
+	// the read side, Close flips closed under the write side, so no send
+	// can race past a completed Close and be silently dropped.
+	submitMu sync.RWMutex
+	closed   bool
+	in       chan submission
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+// NewHost starts the apply loop for m and publishes its initial view
+// (epoch 0: the batch-computed answer on G).
+func NewHost(m Serveable, opt Options) *Host {
+	g := m.Graph()
+	h := &Host{
+		m:    m,
+		algo: m.Algo(),
+		n:    g.NumNodes(),
+		dir:  g.Directed(),
+		opt:  opt.withDefaults(),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	h.in = make(chan submission, h.opt.Queue)
+	h.view = &View{Algo: h.algo, Data: m.Snapshot()}
+	h.stats.Algo = h.algo
+	go h.loop()
+	return h
+}
+
+// Algo returns the hosted query class name.
+func (h *Host) Algo() string { return h.algo }
+
+// NumNodes returns the node count updates are validated against.
+func (h *Host) NumNodes() int { return h.n }
+
+// View returns the current published snapshot. The returned value is
+// immutable and safe to retain across further updates.
+func (h *Host) View() *View {
+	h.viewMu.RLock()
+	defer h.viewMu.RUnlock()
+	return h.view
+}
+
+// Stats returns a copy of the serving counters.
+func (h *Host) Stats() Stats {
+	h.statMu.Lock()
+	s := h.stats
+	h.statMu.Unlock()
+	s.QueueDepth = s.UpdatesReceived - s.UpdatesApplied
+	return s
+}
+
+// Submit validates b and enqueues it for the apply loop, returning once
+// the batch is accepted (not yet applied). It blocks when the queue is
+// full — backpressure, not loss.
+func (h *Host) Submit(b graph.Batch) error {
+	_, err := h.submit(b, false)
+	return err
+}
+
+// SubmitWait is Submit, but also waits until the batch has been applied
+// and its view published.
+func (h *Host) SubmitWait(b graph.Batch) error {
+	ack, err := h.submit(b, true)
+	if err != nil {
+		return err
+	}
+	<-ack
+	return nil
+}
+
+func (h *Host) submit(b graph.Batch, wait bool) (chan struct{}, error) {
+	if err := b.Validate(h.n); err != nil {
+		return nil, err
+	}
+	// Copy: the caller may reuse its slice after Submit returns.
+	owned := append(graph.Batch(nil), b...)
+	var ack chan struct{}
+	if wait {
+		ack = make(chan struct{})
+	}
+	h.submitMu.RLock()
+	defer h.submitMu.RUnlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	h.statMu.Lock()
+	h.stats.UpdatesReceived += uint64(len(owned))
+	h.statMu.Unlock()
+	h.in <- submission{b: owned, ack: ack}
+	return ack, nil
+}
+
+// Close stops accepting submissions, drains and applies everything
+// already accepted, publishes the final view, and waits for the apply
+// loop to exit. It is idempotent.
+func (h *Host) Close() {
+	h.submitMu.Lock()
+	already := h.closed
+	h.closed = true
+	h.submitMu.Unlock()
+	if !already {
+		close(h.quit)
+	}
+	<-h.done
+}
+
+// loop is the single writer: the only goroutine that touches the
+// maintainer after NewHost returns.
+func (h *Host) loop() {
+	defer close(h.done)
+	var (
+		pending graph.Batch
+		acks    []chan struct{}
+		timer   *time.Timer
+		timerC  <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+		if len(pending) > 0 {
+			h.apply(pending)
+			pending = nil
+		}
+		for _, a := range acks {
+			close(a)
+		}
+		acks = nil
+	}
+	add := func(s submission) {
+		pending = append(pending, s.b...)
+		if s.ack != nil {
+			acks = append(acks, s.ack)
+		}
+	}
+	for {
+		select {
+		case s := <-h.in:
+			add(s)
+			if len(pending) >= h.opt.MaxBatch {
+				flush()
+			} else if timer == nil {
+				timer = time.NewTimer(h.opt.MaxWait)
+				timerC = timer.C
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			flush()
+		case <-h.quit:
+			// Graceful shutdown: drain whatever Submit managed to
+			// enqueue before Close flipped the flag, then exit.
+			for {
+				select {
+				case s := <-h.in:
+					add(s)
+					if len(pending) >= h.opt.MaxBatch {
+						flush()
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// apply coalesces one accumulated batch, feeds it to the maintainer, and
+// publishes the new view. Called only from loop.
+func (h *Host) apply(raw graph.Batch) {
+	net := raw.Net(h.dir)
+	t0 := time.Now()
+	aff := h.m.Apply(net)
+	lat := time.Since(t0).Nanoseconds()
+	data := h.m.Snapshot()
+
+	h.statMu.Lock()
+	h.stats.BatchesApplied++
+	h.stats.UpdatesApplied += uint64(len(raw))
+	h.stats.UpdatesCoalesced += uint64(len(raw) - len(net))
+	h.stats.AffectedTotal += int64(aff)
+	h.stats.Epoch = h.stats.UpdatesApplied
+	h.stats.LastApplyNanos = lat
+	h.stats.TotalApplyNanos += lat
+	if lat > h.stats.MaxApplyNanos {
+		h.stats.MaxApplyNanos = lat
+	}
+	epoch, batches := h.stats.Epoch, h.stats.BatchesApplied
+	h.statMu.Unlock()
+
+	v := &View{Algo: h.algo, Epoch: epoch, Batches: batches, Data: data}
+	h.viewMu.Lock()
+	h.view = v
+	h.viewMu.Unlock()
+}

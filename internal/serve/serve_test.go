@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"incgraph/internal/cc"
+	"incgraph/internal/gen"
+	"incgraph/internal/graph"
+	"incgraph/internal/sssp"
+)
+
+// makeStream builds a deterministic update stream that deliberately
+// contains churn: adjacent insert/delete pairs of the same edge, which
+// the host's coalescer must cancel before they reach the maintainer.
+func makeStream(seed int64, nodes, total int) graph.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	b := make(graph.Batch, 0, total)
+	for len(b) < total {
+		u := graph.NodeID(rng.Intn(nodes))
+		v := graph.NodeID(rng.Intn(nodes))
+		if u == v {
+			continue
+		}
+		w := int64(rng.Intn(9) + 1)
+		switch rng.Intn(4) {
+		case 0: // churn pair
+			if len(b)+2 > total {
+				continue
+			}
+			b = append(b,
+				graph.Update{Kind: graph.InsertEdge, From: u, To: v, W: w},
+				graph.Update{Kind: graph.DeleteEdge, From: u, To: v})
+		case 1:
+			b = append(b, graph.Update{Kind: graph.DeleteEdge, From: u, To: v})
+		default:
+			b = append(b, graph.Update{Kind: graph.InsertEdge, From: u, To: v, W: w})
+		}
+	}
+	return b
+}
+
+// TestLoadConcurrentReaders is the subsystem's load test: an ingest
+// goroutine streams >1000 updates through a hosted IncSSSP while
+// concurrent readers hammer View. Every observed view must be the exact
+// answer on some applied prefix of the stream — verified afterwards by
+// replaying each observed prefix and recomputing with batch Dijkstra.
+// Run under -race this also proves readers never touch maintainer state.
+func TestLoadConcurrentReaders(t *testing.T) {
+	const (
+		nodes   = 200
+		total   = 1500
+		readers = 6
+		chunk   = 5
+	)
+	g := gen.Synthetic(7, nodes, 6, true)
+	base := g.Clone()
+	stream := makeStream(11, nodes, total)
+
+	h := NewHost(SSSP(sssp.NewInc(g, 0), 0), Options{MaxBatch: 64, MaxWait: time.Millisecond})
+
+	type obs struct {
+		epoch uint64
+		dist  []int64
+	}
+	observed := make([][]obs, readers)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			last := uint64(0)
+			hasLast := false
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := h.View()
+				if v.Epoch < last {
+					t.Errorf("reader %d: view epoch went backwards: %d after %d", r, v.Epoch, last)
+					return
+				}
+				if !hasLast || v.Epoch != last {
+					observed[r] = append(observed[r], obs{v.Epoch, v.Data.(SSSPView).Dist})
+					last, hasLast = v.Epoch, true
+				}
+			}
+		}(r)
+	}
+
+	for i := 0; i < len(stream); i += chunk {
+		end := i + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if err := h.Submit(stream[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close() // drains the queue and publishes the final view
+	close(stop)
+	wg.Wait()
+
+	if v := h.View(); v.Epoch != total {
+		t.Fatalf("final epoch %d, want %d", v.Epoch, total)
+	}
+	st := h.Stats()
+	if st.UpdatesApplied != total || st.QueueDepth != 0 {
+		t.Fatalf("stats: applied %d depth %d, want %d and 0", st.UpdatesApplied, st.QueueDepth, total)
+	}
+	if st.UpdatesCoalesced == 0 {
+		t.Fatal("coalescer never fired on a churn-heavy stream")
+	}
+	if st.BatchesApplied == 0 || st.BatchesApplied > uint64(total) {
+		t.Fatalf("implausible batch count %d", st.BatchesApplied)
+	}
+
+	// Prefix-consistency: recompute the answer for every distinct
+	// observed epoch by replaying the stream prefix and running batch
+	// Dijkstra, then check each observation against it.
+	epochSet := map[uint64]bool{}
+	for r := range observed {
+		for _, o := range observed[r] {
+			epochSet[o.epoch] = true
+		}
+	}
+	epochs := make([]uint64, 0, len(epochSet))
+	for e := range epochSet {
+		epochs = append(epochs, e)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	expect := make(map[uint64][]int64, len(epochs))
+	replay := base.Clone()
+	cursor := uint64(0)
+	for _, e := range epochs {
+		replay.Apply(stream[cursor:e])
+		cursor = e
+		expect[e] = sssp.Dijkstra(replay, 0)
+	}
+	checked := 0
+	for r := range observed {
+		for _, o := range observed[r] {
+			if !reflect.DeepEqual(o.dist, expect[o.epoch]) {
+				t.Fatalf("reader %d observed a view at epoch %d inconsistent with that prefix", r, o.epoch)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("readers observed nothing")
+	}
+	t.Logf("checked %d observations over %d distinct epochs; coalesced %d of %d updates in %d batches",
+		checked, len(epochs), st.UpdatesCoalesced, total, st.BatchesApplied)
+}
+
+// A churn pair inside one submission must be cancelled by the coalescer
+// and still leave the maintainer's answer exactly right.
+func TestCoalescingCancelsChurn(t *testing.T) {
+	g := graph.New(4, false)
+	g.InsertEdge(0, 1, 1)
+	// MaxBatch equals the submission size, so the flush is size-triggered
+	// and deterministic (MaxWait never fires).
+	h := NewHost(CC(cc.NewInc(g)), Options{MaxBatch: 4, MaxWait: time.Hour})
+	b := graph.Batch{
+		{Kind: graph.InsertEdge, From: 1, To: 2, W: 1},
+		{Kind: graph.InsertEdge, From: 2, To: 3, W: 1},
+		{Kind: graph.DeleteEdge, From: 2, To: 3},
+		{Kind: graph.InsertEdge, From: 1, To: 2, W: 1}, // duplicate
+	}
+	if err := h.SubmitWait(b); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.UpdatesCoalesced == 0 {
+		t.Fatalf("no updates coalesced: %+v", st)
+	}
+	if st.BatchesApplied != 1 || st.UpdatesApplied != 4 {
+		t.Fatalf("batches %d applied %d, want 1 and 4", st.BatchesApplied, st.UpdatesApplied)
+	}
+	labels := h.View().Data.(CCView).Labels
+	want := []int64{0, 0, 0, 3} // {0,1,2} connected, 3 isolated again
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("labels %v, want %v", labels, want)
+	}
+	h.Close()
+}
+
+// Micro-batches submitted faster than the latency budget must merge into
+// fewer Apply calls.
+func TestBatchingMergesSubmissions(t *testing.T) {
+	g := graph.New(10, false)
+	h := NewHost(CC(cc.NewInc(g)), Options{MaxBatch: 1 << 20, MaxWait: 50 * time.Millisecond})
+	for i := 0; i < 9; i++ {
+		if err := h.Submit(graph.Batch{{Kind: graph.InsertEdge, From: graph.NodeID(i), To: graph.NodeID(i + 1), W: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+	st := h.Stats()
+	if st.UpdatesApplied != 9 {
+		t.Fatalf("applied %d, want 9", st.UpdatesApplied)
+	}
+	if st.BatchesApplied >= 9 {
+		t.Fatalf("9 submissions produced %d batches; batching never merged", st.BatchesApplied)
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	g := graph.New(50, true)
+	h := NewHost(SSSP(sssp.NewInc(g, 0), 0), Options{MaxBatch: 8, MaxWait: time.Hour})
+	stream := makeStream(3, 50, 200)
+	for i := 0; i < len(stream); i += 4 {
+		if err := h.Submit(stream[i : i+4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+	if v := h.View(); v.Epoch != uint64(len(stream)) {
+		t.Fatalf("close did not drain: epoch %d, want %d", v.Epoch, len(stream))
+	}
+	if err := h.Submit(graph.Batch{{Kind: graph.InsertEdge, From: 0, To: 1, W: 1}}); err != ErrClosed {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+	h.Close() // idempotent
+}
+
+func TestSubmitValidates(t *testing.T) {
+	g := graph.New(5, true)
+	h := NewHost(SSSP(sssp.NewInc(g, 0), 0), Options{})
+	defer h.Close()
+	if err := h.Submit(graph.Batch{{Kind: graph.InsertEdge, From: 0, To: 99, W: 1}}); err == nil {
+		t.Fatal("out-of-range update accepted")
+	}
+	if err := h.Submit(graph.Batch{{Kind: graph.InsertEdge, From: 0, To: 1, W: -1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+// Published views must be immutable: applying more updates must not
+// change data already handed to readers.
+func TestViewImmutability(t *testing.T) {
+	g := graph.New(3, true)
+	g.InsertEdge(0, 1, 5)
+	h := NewHost(SSSP(sssp.NewInc(g, 0), 0), Options{})
+	defer h.Close()
+	before := h.View()
+	snap := append([]int64(nil), before.Data.(SSSPView).Dist...)
+	if err := h.SubmitWait(graph.Batch{{Kind: graph.InsertEdge, From: 0, To: 2, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before.Data.(SSSPView).Dist, snap) {
+		t.Fatal("old view mutated by a later apply")
+	}
+	if h.View().Epoch != 1 {
+		t.Fatalf("epoch %d, want 1", h.View().Epoch)
+	}
+}

@@ -18,6 +18,11 @@ import (
 // The generic-engine equivalent is IncEngine; both compute the same
 // relation (tests cross-check them), but Inc propagates through counters
 // the way Sim_fp does and is the implementation the benchmarks exercise.
+//
+// An Inc is not goroutine-safe: it (and the graph it owns) must be
+// driven by a single writer goroutine making every call, reads included.
+// Concurrent serving goes through internal/serve, which gives each
+// maintainer one apply loop and publishes immutable snapshots to readers.
 type Inc struct {
 	*simState
 	hq      *pq.Heap

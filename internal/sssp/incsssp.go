@@ -24,6 +24,12 @@ import (
 //  2. the resumed step function is Dijkstra's own loop (lines 4-10 of
 //     Fig. 1), seeded with the revised nodes and the tails of inserted
 //     edges.
+//
+// An Inc is not goroutine-safe: it (and the graph it owns) must be
+// driven by a single writer goroutine making every call, reads included —
+// accessors alias internal state that Apply mutates. Concurrent serving
+// goes through internal/serve, which gives each maintainer one apply
+// loop and publishes immutable snapshots to readers.
 type Inc struct {
 	g   *graph.Graph
 	src graph.NodeID
