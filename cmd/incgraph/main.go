@@ -47,6 +47,7 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		updates   = fs.String("updates", "", "update batch file to apply incrementally")
 		src       = fs.Int("src", 0, "source node (sssp only)")
 		quiet     = fs.Bool("quiet", false, "print timings only, not per-node results")
+		stats     = fs.Bool("stats", false, "print the incremental run's cost counters and |AFF|/|ΔG| ratio")
 
 		genKind    = fs.String("gen", "", "emit a synthetic graph instead: powerlaw|grid")
 		genNodes   = fs.Int("nodes", 1000, "synthetic node count")
@@ -113,7 +114,7 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 			return fatal(fmt.Errorf("%s: %v", *updates, err))
 		}
 	}
-	if err := run(stdout, *algo, g, *pattern, incgraph.NodeID(*src), delta, *quiet); err != nil {
+	if err := run(stdout, *algo, g, *pattern, incgraph.NodeID(*src), delta, *quiet, *stats); err != nil {
 		return fatal(err)
 	}
 	return 0
@@ -151,9 +152,24 @@ func emitGraph(w io.Writer, kind string, seed int64, nodes, deg int, directed bo
 
 // run executes one query class end to end, printing the initial answer,
 // applying the updates incrementally, and printing the maintained answer.
-func run(w io.Writer, algo string, g *incgraph.Graph, patternPath string, src incgraph.NodeID, delta incgraph.Batch, quiet bool) error {
+func run(w io.Writer, algo string, g *incgraph.Graph, patternPath string, src incgraph.NodeID, delta incgraph.Batch, quiet, stats bool) error {
 	report := func(phase string, d time.Duration) {
 		fmt.Fprintf(w, "%-12s %v\n", phase+":", d.Round(time.Microsecond))
+	}
+	// reportCost prints the counters the paper's boundedness claim is
+	// about: |AFF| against |ΔG|, and — for classes on the fixpoint
+	// engine — the inspection count and the h/resume time split.
+	reportCost := func(aff int, st *incgraph.FixpointStats) {
+		if !stats || len(delta) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%-12s |AFF|=%d |ΔG|=%d ratio=%.3f\n", "affected:", aff, len(delta), float64(aff)/float64(len(delta)))
+		if st != nil {
+			fmt.Fprintf(w, "%-12s %d (%.1f per update)\n", "inspected:", st.Inspected(), float64(st.Inspected())/float64(len(delta)))
+			fmt.Fprintf(w, "%-12s %v / %v\n", "h/resume:",
+				time.Duration(st.HSeconds*float64(time.Second)).Round(time.Microsecond),
+				time.Duration(st.ResumeSeconds*float64(time.Second)).Round(time.Microsecond))
+		}
 	}
 	switch algo {
 	case "sssp":
@@ -162,8 +178,10 @@ func run(w io.Writer, algo string, g *incgraph.Graph, patternPath string, src in
 		report("batch", time.Since(t0))
 		if len(delta) > 0 {
 			t0 = time.Now()
-			inc.Apply(delta)
+			aff := inc.Apply(delta)
 			report("incremental", time.Since(t0))
+			st := inc.Stats()
+			reportCost(aff, &st)
 		}
 		if !quiet {
 			for v, d := range inc.Dist() {
@@ -180,8 +198,10 @@ func run(w io.Writer, algo string, g *incgraph.Graph, patternPath string, src in
 		report("batch", time.Since(t0))
 		if len(delta) > 0 {
 			t0 = time.Now()
-			inc.Apply(delta)
+			aff := inc.Apply(delta)
 			report("incremental", time.Since(t0))
+			st := inc.Stats()
+			reportCost(aff, &st)
 		}
 		if !quiet {
 			for v, l := range inc.Labels() {
@@ -206,8 +226,10 @@ func run(w io.Writer, algo string, g *incgraph.Graph, patternPath string, src in
 		report("batch", time.Since(t0))
 		if len(delta) > 0 {
 			t0 = time.Now()
-			inc.Apply(delta)
+			aff := inc.Apply(delta)
 			report("incremental", time.Since(t0))
+			st := inc.Stats()
+			reportCost(aff, &st)
 		}
 		r := inc.Relation()
 		fmt.Fprintf(w, "matches: %d\n", r.Count())
@@ -226,8 +248,9 @@ func run(w io.Writer, algo string, g *incgraph.Graph, patternPath string, src in
 		report("batch", time.Since(t0))
 		if len(delta) > 0 {
 			t0 = time.Now()
-			inc.Apply(delta)
+			aff := inc.Apply(delta)
 			report("incremental", time.Since(t0))
+			reportCost(aff, nil)
 		}
 		if !quiet {
 			tr := inc.Tree()
@@ -244,8 +267,9 @@ func run(w io.Writer, algo string, g *incgraph.Graph, patternPath string, src in
 		report("batch", time.Since(t0))
 		if len(delta) > 0 {
 			t0 = time.Now()
-			inc.Apply(delta)
+			aff := inc.Apply(delta)
 			report("incremental", time.Since(t0))
+			reportCost(aff, nil)
 		}
 		if !quiet {
 			for v := 0; v < g.NumNodes(); v++ {
@@ -261,8 +285,9 @@ func run(w io.Writer, algo string, g *incgraph.Graph, patternPath string, src in
 		report("batch", time.Since(t0))
 		if len(delta) > 0 {
 			t0 = time.Now()
-			inc.Apply(delta)
+			aff := inc.Apply(delta)
 			report("incremental", time.Since(t0))
+			reportCost(aff, nil)
 		}
 		fmt.Fprintf(w, "biconnected components: %d\n", inc.Result().NumComps())
 		if !quiet {

@@ -35,7 +35,7 @@ func demoGraph(directed bool) *incgraph.Graph {
 func TestRunSSSP(t *testing.T) {
 	g := demoGraph(true)
 	var buf bytes.Buffer
-	if err := run(&buf, "sssp", g, "", 0, nil, false); err != nil {
+	if err := run(&buf, "sssp", g, "", 0, nil, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -48,18 +48,24 @@ func TestRunSSSPWithUpdates(t *testing.T) {
 	g := demoGraph(true)
 	delta := incgraph.Batch{{Kind: incgraph.InsertEdge, From: 0, To: 3, W: 1}}
 	var buf bytes.Buffer
-	if err := run(&buf, "sssp", g, "", 0, delta, false); err != nil {
+	if err := run(&buf, "sssp", g, "", 0, delta, false, true); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "incremental:") || !strings.Contains(buf.String(), "3 1") {
 		t.Fatalf("update not applied:\n%s", buf.String())
+	}
+	// -stats surfaces the boundedness counters for engine-based classes.
+	for _, want := range []string{"affected:", "|ΔG|=1", "inspected:", "h/resume:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q in -stats output:\n%s", want, buf.String())
+		}
 	}
 }
 
 func TestRunCCDFS(t *testing.T) {
 	for _, algo := range []string{"cc", "dfs"} {
 		var buf bytes.Buffer
-		if err := run(&buf, algo, demoGraph(algo == "dfs"), "", 0, nil, false); err != nil {
+		if err := run(&buf, algo, demoGraph(algo == "dfs"), "", 0, nil, false, false); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		if buf.Len() == 0 {
@@ -71,7 +77,7 @@ func TestRunCCDFS(t *testing.T) {
 func TestRunLCCBCRejectDirected(t *testing.T) {
 	for _, algo := range []string{"lcc", "bc"} {
 		var buf bytes.Buffer
-		if err := run(&buf, algo, demoGraph(true), "", 0, nil, true); err == nil {
+		if err := run(&buf, algo, demoGraph(true), "", 0, nil, true, false); err == nil {
 			t.Fatalf("%s accepted a directed graph", algo)
 		}
 	}
@@ -82,7 +88,7 @@ func TestRunLCCBCUndirected(t *testing.T) {
 	g.InsertEdge(0, 2, 1) // close a triangle
 	for _, algo := range []string{"lcc", "bc"} {
 		var buf bytes.Buffer
-		if err := run(&buf, algo, g.Clone(), "", 0, nil, false); err != nil {
+		if err := run(&buf, algo, g.Clone(), "", 0, nil, false, false); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 	}
@@ -90,7 +96,7 @@ func TestRunLCCBCUndirected(t *testing.T) {
 
 func TestRunSimNeedsPattern(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "sim", demoGraph(true), "", 0, nil, true); err == nil {
+	if err := run(&buf, "sim", demoGraph(true), "", 0, nil, true, false); err == nil {
 		t.Fatal("sim without pattern accepted")
 	}
 }
@@ -100,7 +106,7 @@ func TestRunSimWithPattern(t *testing.T) {
 	q.InsertEdge(0, 1, 1)
 	qPath := writeGraphFile(t, q)
 	var buf bytes.Buffer
-	if err := run(&buf, "sim", demoGraph(true), qPath, 0, nil, true); err != nil {
+	if err := run(&buf, "sim", demoGraph(true), qPath, 0, nil, true, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "matches:") {
@@ -110,7 +116,7 @@ func TestRunSimWithPattern(t *testing.T) {
 
 func TestRunUnknownAlgo(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "nope", demoGraph(true), "", 0, nil, true); err == nil {
+	if err := run(&buf, "nope", demoGraph(true), "", 0, nil, true, false); err == nil {
 		t.Fatal("unknown algo accepted")
 	}
 }

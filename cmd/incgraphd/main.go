@@ -8,13 +8,20 @@
 //	incgraphd -graph g.txt -algos sssp,cc [-src 0] [-listen :8356]
 //	incgraphd -gen powerlaw -nodes 10000 -deg 8 -algos cc,lcc,bc
 //	incgraphd -graph g.txt -algos sim -pattern q.txt
+//	incgraphd -graph g.txt -algos cc -log-level debug -debug-addr :6060
 //
 // API:
 //
 //	POST /update[?algo=<name>][&wait=1]  batch text body ("+ u v w" / "- u v [w]")
 //	GET  /query/{algo}                   current snapshot view (JSON)
 //	GET  /stats                          per-maintainer serving counters (JSON)
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /debug/applies[?algo=<name>]    recent apply trace events (JSON)
 //	GET  /healthz                        liveness
+//
+// With -debug-addr set, a second listener serves net/http/pprof profiles
+// and expvar counters (/debug/pprof/, /debug/vars) — kept off the main
+// listener so profiling endpoints are never exposed on the service port.
 //
 // Each hosted maintainer owns a private copy of the graph behind a
 // single-writer apply loop; updates are validated, coalesced and batched
@@ -25,10 +32,12 @@ package main
 import (
 	"context"
 	"errors"
+	_ "expvar" // registers /debug/vars on the -debug-addr listener
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr listener
 	"os"
 	"os/signal"
 	"strings"
@@ -55,18 +64,36 @@ func main() {
 		maxBatch = flag.Int("max-batch", 256, "coalescing window: flush after this many updates")
 		maxWait  = flag.Duration("max-wait", 2*time.Millisecond, "coalescing window: flush after this long")
 		queue    = flag.Int("queue", 1024, "per-maintainer submission queue depth")
+
+		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error (debug logs every apply)")
+		debugAddr = flag.String("debug-addr", "", "optional second listener for pprof and expvar (e.g. :6060)")
 	)
 	flag.Parse()
-	if err := run(*listen, *graphPath, *algos, *pattern, *genKind, incgraph.NodeID(*src),
-		*genSeed, *genNodes, *genDeg, *genDirect,
-		incgraph.ServeOptions{MaxBatch: *maxBatch, MaxWait: *maxWait, Queue: *queue}); err != nil {
+	logger, err := newLogger(*logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "incgraphd:", err)
+		os.Exit(2)
+	}
+	if err := run(logger, *listen, *debugAddr, *graphPath, *algos, *pattern, *genKind,
+		incgraph.NodeID(*src), *genSeed, *genNodes, *genDeg, *genDirect,
+		incgraph.ServeOptions{MaxBatch: *maxBatch, MaxWait: *maxWait, Queue: *queue}); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, graphPath, algos, patternPath, genKind string, src incgraph.NodeID,
-	seed int64, nodes, deg int, directed bool, opt incgraph.ServeOptions) error {
+// newLogger builds the process logger at the requested level, writing
+// structured key=val lines to stderr.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug|info|warn|error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, genKind string,
+	src incgraph.NodeID, seed int64, nodes, deg int, directed bool, opt incgraph.ServeOptions) error {
 	if algos == "" {
 		return fmt.Errorf("missing -algos (e.g. -algos sssp,cc)")
 	}
@@ -87,6 +114,20 @@ func run(listen, graphPath, algos, patternPath, genKind string, src incgraph.Nod
 		}
 	}
 
+	// Every apply is traced through this hook at debug level: host, epoch,
+	// batch size, coalescing, |AFF|, and the latency split — the same
+	// fields /debug/applies retains.
+	opt.OnApply = func(t incgraph.ServeApplyTrace) {
+		logger.Debug("apply",
+			"host", t.Algo,
+			"epoch", t.Epoch,
+			"batch_size", t.RawUpdates,
+			"net_size", t.NetUpdates,
+			"affected", t.Affected,
+			"apply_latency", time.Duration(t.ApplyNanos),
+			"queue_wait", time.Duration(t.QueueWaitNanos))
+	}
+
 	svc := incgraph.NewService()
 	for _, algo := range strings.Split(algos, ",") {
 		algo = strings.TrimSpace(algo)
@@ -105,7 +146,18 @@ func run(listen, graphPath, algos, patternPath, genKind string, src incgraph.Nod
 			svc.Close()
 			return err
 		}
-		log.Printf("hosted %s: initial batch computation in %v", algo, time.Since(t0).Round(time.Microsecond))
+		logger.Info("hosted", "host", algo, "batch_init", time.Since(t0).Round(time.Microsecond))
+	}
+
+	if debugAddr != "" {
+		// pprof and expvar registered themselves on the default mux via
+		// their imports; serve it on the side listener only.
+		go func() {
+			logger.Info("debug listener", "addr", debugAddr)
+			if err := http.ListenAndServe(debugAddr, http.DefaultServeMux); err != nil {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: listen, Handler: svc.Handler()}
@@ -114,7 +166,7 @@ func run(listen, graphPath, algos, patternPath, genKind string, src incgraph.Nod
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving %d nodes, %d edges on %s", base.NumNodes(), base.NumEdges(), listen)
+		logger.Info("serving", "nodes", base.NumNodes(), "edges", base.NumEdges(), "addr", listen)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -129,18 +181,23 @@ func run(listen, graphPath, algos, patternPath, genKind string, src incgraph.Nod
 
 	// Graceful shutdown: stop taking requests first, then drain every
 	// apply queue so accepted updates are not lost.
-	log.Print("shutting down: draining apply queues")
+	logger.Info("shutting down: draining apply queues")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	svc.Close()
 	for _, h := range svc.Hosts() {
 		st := h.Stats()
-		log.Printf("%s: %d updates in %d batches (%d coalesced away), last apply %v",
-			st.Algo, st.UpdatesApplied, st.BatchesApplied, st.UpdatesCoalesced,
-			time.Duration(st.LastApplyNanos).Round(time.Microsecond))
+		logger.Info("drained",
+			"host", st.Algo,
+			"epoch", st.Epoch,
+			"updates", st.UpdatesApplied,
+			"batches", st.BatchesApplied,
+			"coalesced", st.UpdatesCoalesced,
+			"mean_apply", time.Duration(st.MeanApplyNanos).Round(time.Microsecond),
+			"last_apply", time.Duration(st.LastApplyNanos).Round(time.Microsecond))
 	}
 	return nil
 }

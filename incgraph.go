@@ -30,6 +30,7 @@ import (
 	"incgraph/internal/bc"
 	"incgraph/internal/cc"
 	"incgraph/internal/dfs"
+	"incgraph/internal/fixpoint"
 	"incgraph/internal/gen"
 	"incgraph/internal/graph"
 	"incgraph/internal/lcc"
@@ -189,6 +190,14 @@ type (
 	ServeView = serve.View
 	// ServeStats are per-host serving counters.
 	ServeStats = serve.Stats
+	// ServeApplyResult is a maintainer's per-apply report: affected area
+	// plus the fixpoint cost-counter delta.
+	ServeApplyResult = serve.ApplyResult
+	// ServeApplyTrace is one recent-apply trace event (GET /debug/applies).
+	ServeApplyTrace = serve.ApplyTrace
+	// FixpointStats are the engine's cost counters, the quantities the
+	// paper's relative-boundedness guarantee (Theorem 3) is stated over.
+	FixpointStats = fixpoint.Stats
 )
 
 // NewService returns an empty serving layer; register maintainers with

@@ -68,24 +68,59 @@ type Instance[V any] interface {
 // statement about these counters: for the incremental run they must be a
 // function of |ΔG| and |AFF|, not of |G|.
 type Stats struct {
-	Reads     int64 // status-variable reads by update functions
-	Updates   int64 // update-function invocations
-	Changes   int64 // value changes (writes)
-	Pops      int64 // scope extractions by the step function
-	HPops     int64 // queue extractions by the scope function h
-	HResets   int64 // variables revised to feasible values by h
-	ScopeSize int64 // |H⁰| produced by h (incremental runs only)
+	Reads     int64 `json:"reads"`      // status-variable reads by update functions
+	Updates   int64 `json:"updates"`    // update-function invocations
+	Changes   int64 `json:"changes"`    // value changes (writes)
+	Pops      int64 `json:"pops"`       // scope extractions by the step function
+	HPops     int64 `json:"h_pops"`     // queue extractions by the scope function h
+	HResets   int64 `json:"h_resets"`   // variables revised to feasible values by h
+	ScopeSize int64 `json:"scope_size"` // |H⁰| produced by h (incremental runs only)
 
 	// HSeconds and ResumeSeconds accumulate wall time spent in the initial
 	// scope function h and in the resumed step function, the split the
 	// paper reports in Exp-2(2).
-	HSeconds      float64
-	ResumeSeconds float64
+	HSeconds      float64 `json:"h_seconds"`
+	ResumeSeconds float64 `json:"resume_seconds"`
 }
 
 // Inspected returns the total number of variable inspections, the cost
 // measure of the paper's boundedness analysis.
 func (s Stats) Inspected() int64 { return s.Reads + s.Updates + s.Pops + s.HPops }
+
+// Sub returns the counter-wise difference s − o, isolating the cost of
+// the span between two snapshots of the same cumulative Stats (e.g. one
+// Apply call). ScopeSize is not cumulative — it is the |H⁰| of the last
+// run — so the newer snapshot's value is kept as-is.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:         s.Reads - o.Reads,
+		Updates:       s.Updates - o.Updates,
+		Changes:       s.Changes - o.Changes,
+		Pops:          s.Pops - o.Pops,
+		HPops:         s.HPops - o.HPops,
+		HResets:       s.HResets - o.HResets,
+		ScopeSize:     s.ScopeSize,
+		HSeconds:      s.HSeconds - o.HSeconds,
+		ResumeSeconds: s.ResumeSeconds - o.ResumeSeconds,
+	}
+}
+
+// Add returns the counter-wise sum s + o, for aggregating per-run deltas
+// into a running total. ScopeSize takes o's value — the most recent
+// run's |H⁰| — so an accumulator always reports the latest scope.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Reads:         s.Reads + o.Reads,
+		Updates:       s.Updates + o.Updates,
+		Changes:       s.Changes + o.Changes,
+		Pops:          s.Pops + o.Pops,
+		HPops:         s.HPops + o.HPops,
+		HResets:       s.HResets + o.HResets,
+		ScopeSize:     o.ScopeSize,
+		HSeconds:      s.HSeconds + o.HSeconds,
+		ResumeSeconds: s.ResumeSeconds + o.ResumeSeconds,
+	}
+}
 
 // State is the status D_A of a run: the current value and last-change
 // timestamp of every status variable, plus the logical clock. Timestamps

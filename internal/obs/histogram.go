@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket geometry: values are binned into octaves [2^k, 2^k+1)
+// split into 8 linear sub-buckets each, HDR-histogram style, so every
+// bucket spans a 12.5% relative range and a quantile estimate (bucket
+// midpoint) is within ~6.25% of the true sample. The octave range covers
+// 2^-31 (~0.47ns, below any clock tick) through 2^34 (~1.7e10 — years of
+// seconds, or batch sizes far beyond memory), so in practice nothing
+// lands in the under/overflow buckets.
+const (
+	subBits   = 3
+	subCount  = 1 << subBits
+	minOctave = -31
+	maxOctave = 33
+	// bucket 0 holds zeros/negatives/underflow; the last bucket overflow.
+	numBuckets = (maxOctave-minOctave+1)*subCount + 2
+)
+
+// Histogram is a fixed-size log-bucketed histogram. Observe is a single
+// atomic add per bucket plus CAS loops for sum and max; it is safe for
+// any number of concurrent writers and readers.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     Counter
+	max     atomic.Uint64 // float64 bits; monotone under CAS
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return numBuckets - 1
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	octave := exp - 1          // v in [2^octave, 2^(octave+1))
+	if octave < minOctave {
+		return 1 // underflow: smallest real bucket
+	}
+	if octave > maxOctave {
+		return numBuckets - 1
+	}
+	sub := int((frac - 0.5) * 2 * subCount)
+	if sub >= subCount {
+		sub = subCount - 1
+	}
+	return 1 + (octave-minOctave)*subCount + sub
+}
+
+// bucketMid returns the midpoint of bucket i's value range, the
+// representative returned by Quantile.
+func bucketMid(i int) float64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= numBuckets-1 {
+		return math.Ldexp(1, maxOctave+1) // lower edge of the overflow range
+	}
+	i--
+	octave := minOctave + i/subCount
+	sub := i % subCount
+	lo := math.Ldexp(1+float64(sub)/subCount, octave)
+	hi := math.Ldexp(1+float64(sub+1)/subCount, octave)
+	return (lo + hi) / 2
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Max returns the largest observed sample (exact, not bucketed).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed samples.
+// The estimate is the midpoint of the bucket holding the rank-⌈q·n⌉
+// sample, so its relative error is bounded by half the bucket width
+// (~6.25%); q = 1 returns the exact maximum. With no samples it returns
+// NaN, matching Prometheus summary semantics.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketMid(i)
+		}
+	}
+	// Concurrent writers raced count ahead of buckets; the max is the
+	// honest answer for the tail.
+	return h.Max()
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Bucket geometry: every positive value must land in a bucket whose
+// midpoint is within half a bucket width (12.5%/2) of the value.
+func TestBucketGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		// Span many octaves: nanoseconds through hours.
+		v := math.Exp(rng.Float64()*30 - 21) // e^-21 (~7.6e-10) .. e^9 (~8100)
+		idx := bucketIndex(v)
+		mid := bucketMid(idx)
+		if relErr := math.Abs(mid-v) / v; relErr > 0.0625+1e-9 {
+			t.Fatalf("value %g: bucket %d midpoint %g, relative error %.4f", v, idx, mid, relErr)
+		}
+	}
+	// Index must be monotone in the value.
+	prev := -1
+	for v := 1e-10; v < 1e10; v *= 1.01 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %g: %d after %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestBucketEdgeCases(t *testing.T) {
+	for _, v := range []float64{0, -1, math.Inf(-1), math.NaN()} {
+		if idx := bucketIndex(v); idx != 0 {
+			t.Fatalf("bucketIndex(%v) = %d, want 0", v, idx)
+		}
+	}
+	if idx := bucketIndex(1e-300); idx != 1 {
+		t.Fatalf("underflow bucket = %d, want 1", idx)
+	}
+	if idx := bucketIndex(1e300); idx != numBuckets-1 {
+		t.Fatalf("overflow bucket = %d, want %d", idx, numBuckets-1)
+	}
+	if idx := bucketIndex(math.Inf(1)); idx != numBuckets-1 {
+		t.Fatalf("+inf bucket = %d, want %d", idx, numBuckets-1)
+	}
+	var h Histogram
+	h.Observe(0)
+	h.Observe(math.Inf(1))
+	if h.Count() != 2 {
+		t.Fatalf("count %d, want 2", h.Count())
+	}
+}
+
+// Quantile estimates must track a reference sort on random samples to
+// within the bucket-width bound. Exercised on two shapes: heavy-tailed
+// exponential latencies and uniform batch sizes.
+func TestQuantileAccuracy(t *testing.T) {
+	const n = 20000
+	dists := map[string]func(*rand.Rand) float64{
+		"exponential-latency": func(r *rand.Rand) float64 { return r.ExpFloat64() * 0.005 },
+		"uniform-batch-size":  func(r *rand.Rand) float64 { return float64(1 + r.Intn(4096)) },
+		"lognormal":           func(r *rand.Rand) float64 { return math.Exp(r.NormFloat64() * 2) },
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			var h Histogram
+			samples := make([]float64, n)
+			sum := 0.0
+			for i := range samples {
+				samples[i] = draw(rng)
+				h.Observe(samples[i])
+				sum += samples[i]
+			}
+			sort.Float64s(samples)
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+				// Reference: the same ⌈q·n⌉-rank convention as Quantile.
+				rank := int(math.Ceil(q * n))
+				ref := samples[rank-1]
+				got := h.Quantile(q)
+				if relErr := math.Abs(got-ref) / ref; relErr > 0.0625+1e-9 {
+					t.Errorf("q=%.2f: got %g, reference %g, relative error %.4f", q, got, ref, relErr)
+				}
+			}
+			if got := h.Quantile(1); got != samples[n-1] {
+				t.Errorf("q=1: got %g, want exact max %g", got, samples[n-1])
+			}
+			if h.Max() != samples[n-1] {
+				t.Errorf("Max() = %g, want %g", h.Max(), samples[n-1])
+			}
+			if h.Count() != n {
+				t.Errorf("Count() = %d, want %d", h.Count(), n)
+			}
+			if relErr := math.Abs(h.Sum()-sum) / sum; relErr > 1e-9 {
+				t.Errorf("Sum() = %g, want %g", h.Sum(), sum)
+			}
+		})
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("empty histogram quantile = %g, want NaN", q)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Add(2.5)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %g, want 3.5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Fatalf("gauge = %g, want -1.25", got)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing[int](3)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot %v", got)
+	}
+	for i := 1; i <= 5; i++ {
+		r.Push(i)
+	}
+	want := []int{3, 4, 5}
+	got := r.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("snapshot %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot %v, want %v (oldest first)", got, want)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len %d, want 3", r.Len())
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Golden test: the exposition format is a wire protocol, so it is pinned
+// byte for byte. The histogram holds a single sample of exactly 1.0,
+// which lands in bucket [1, 1.125) with midpoint 1.0625 — every interior
+// quantile reports that midpoint, and quantile 1 the exact max.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_updates_total", "Updates seen.", L("algo", "cc")).Add(42)
+	r.Counter("test_updates_total", "Updates seen.", L("algo", "sssp")).Add(7)
+	r.Gauge("test_ratio", "A ratio.", L("algo", "cc")).Set(0.25)
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 3.5 })
+	r.Histogram("test_latency_seconds", "Latency.", L("algo", "cc")).Observe(1.0)
+
+	const want = `# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds summary
+test_latency_seconds{algo="cc",quantile="0.5"} 1.0625
+test_latency_seconds{algo="cc",quantile="0.95"} 1.0625
+test_latency_seconds{algo="cc",quantile="0.99"} 1.0625
+test_latency_seconds{algo="cc",quantile="1"} 1
+test_latency_seconds_sum{algo="cc"} 1
+test_latency_seconds_count{algo="cc"} 1
+# HELP test_ratio A ratio.
+# TYPE test_ratio gauge
+test_ratio{algo="cc"} 0.25
+# HELP test_updates_total Updates seen.
+# TYPE test_updates_total counter
+test_updates_total{algo="cc"} 42
+test_updates_total{algo="sssp"} 7
+# HELP test_uptime_seconds Uptime.
+# TYPE test_uptime_seconds gauge
+test_uptime_seconds 3.5
+`
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// Every non-comment line of an exposition must parse as
+// name[{labels}] value — scraped by a machine, not a human.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$`)
+
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	body = strings.TrimRight(body, "\n")
+	if body == "" {
+		return // nothing registered yet: an empty exposition is valid
+	}
+	for _, ln := range strings.Split(body, "\n") {
+		if strings.HasPrefix(ln, "# HELP ") || strings.HasPrefix(ln, "# TYPE ") {
+			continue
+		}
+		if !sampleLine.MatchString(ln) {
+			t.Fatalf("invalid exposition line: %q", ln)
+		}
+	}
+}
+
+func TestHandlerContentTypeAndValidity(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.").Inc()
+	h := r.Histogram("h_seconds", "H.", L("x", `quote " backslash \ done`))
+	// Empty histogram: quantiles expose NaN, which must still be a valid
+	// sample value.
+	_ = h
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `\"`) || !strings.Contains(rec.Body.String(), `\\`) {
+		t.Fatalf("label escaping missing:\n%s", rec.Body.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "M.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "M.")
+}
+
+// TestRegistryRace hammers one registry from 8 goroutines — counter
+// adds, gauge sets, histogram observes, and get-or-create lookups —
+// while /metrics is scraped concurrently. Run under -race (CI does)
+// this proves the lock-free hot path and the scrape path coexist.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			algo := fmt.Sprintf("algo%d", w%4)
+			c := r.Counter("race_updates_total", "U.", L("algo", algo))
+			g := r.Gauge("race_ratio", "R.", L("algo", algo))
+			h := r.Histogram("race_latency_seconds", "L.", L("algo", algo))
+			for i := 0; i < rounds; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%100) * 1e-6)
+				if i%128 == 0 {
+					// Get-or-create against the scrape path's family walk.
+					r.Counter("race_updates_total", "U.", L("algo", fmt.Sprintf("dyn%d", i%7))).Inc()
+				}
+			}
+		}(w)
+	}
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 50; i++ {
+			rec := httptest.NewRecorder()
+			r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+			checkExposition(t, rec.Body.String())
+		}
+	}()
+	wg.Wait()
+	<-scrapeDone
+
+	var total float64
+	for w := 0; w < 4; w++ {
+		total += r.Counter("race_updates_total", "U.", L("algo", fmt.Sprintf("algo%d", w))).Value()
+	}
+	if want := float64(writers * rounds); total != want {
+		t.Fatalf("counter total %g, want %g (lost updates under contention)", total, want)
+	}
+	h := r.Histogram("race_latency_seconds", "L.", L("algo", "algo0"))
+	if h.Count() == 0 {
+		t.Fatal("histogram observed nothing")
+	}
+}

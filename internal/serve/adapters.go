@@ -4,6 +4,7 @@ import (
 	"incgraph/internal/bc"
 	"incgraph/internal/cc"
 	"incgraph/internal/dfs"
+	"incgraph/internal/fixpoint"
 	"incgraph/internal/graph"
 	"incgraph/internal/lcc"
 	"incgraph/internal/sim"
@@ -15,6 +16,13 @@ import (
 // maintainers alias internal state from their accessors (Dist, Labels, …)
 // and keep mutating it across Apply calls; the copy is what makes the
 // published views immutable.
+//
+// Apply returns an ApplyResult instead of the bare affected count: the
+// engine-based maintainers (SSSP, CC, Sim) expose cumulative
+// fixpoint.Stats, so each adapter snapshots the counters around Apply
+// and reports the per-apply delta — the numbers Theorem 3 is about —
+// rather than discarding them. DFS, LCC, and BC repair with specialized
+// machinery and report only the affected-area measure.
 
 // SSSPView is the published snapshot of an SSSP maintainer.
 type SSSPView struct {
@@ -35,11 +43,24 @@ func SSSP(inc *sssp.Inc, src graph.NodeID) Serveable {
 	return &ssspServeable{inc: inc, src: src}
 }
 
-func (s *ssspServeable) Algo() string            { return "sssp" }
-func (s *ssspServeable) Graph() *graph.Graph     { return s.inc.Graph() }
-func (s *ssspServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *ssspServeable) Algo() string        { return "sssp" }
+func (s *ssspServeable) Graph() *graph.Graph { return s.inc.Graph() }
+func (s *ssspServeable) Apply(b graph.Batch) ApplyResult {
+	return statsDelta(s.inc, func() int { return s.inc.Apply(b) })
+}
 func (s *ssspServeable) Snapshot() any {
 	return SSSPView{Src: s.src, Dist: append([]int64(nil), s.inc.Dist()...)}
+}
+
+// statser is the slice of the maintainer API the stats plumbing needs.
+type statser interface{ Stats() fixpoint.Stats }
+
+// statsDelta runs one Apply on a stats-exposing maintainer and packages
+// the affected count with the counter delta attributable to that apply.
+func statsDelta(m statser, apply func() int) ApplyResult {
+	before := m.Stats()
+	aff := apply()
+	return ApplyResult{Affected: aff, Stats: m.Stats().Sub(before), HasStats: true}
 }
 
 // CCView is the published snapshot of a connected-components maintainer.
@@ -54,9 +75,11 @@ type ccServeable struct{ inc *cc.Inc }
 // CC adapts an IncCC maintainer.
 func CC(inc *cc.Inc) Serveable { return &ccServeable{inc: inc} }
 
-func (s *ccServeable) Algo() string            { return "cc" }
-func (s *ccServeable) Graph() *graph.Graph     { return s.inc.Graph() }
-func (s *ccServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *ccServeable) Algo() string        { return "cc" }
+func (s *ccServeable) Graph() *graph.Graph { return s.inc.Graph() }
+func (s *ccServeable) Apply(b graph.Batch) ApplyResult {
+	return statsDelta(s.inc, func() int { return s.inc.Apply(b) })
+}
 func (s *ccServeable) Snapshot() any {
 	return CCView{Labels: append([]int64(nil), s.inc.Labels()...)}
 }
@@ -77,9 +100,11 @@ type simServeable struct{ inc *sim.Inc }
 // Sim adapts an IncSim maintainer.
 func Sim(inc *sim.Inc) Serveable { return &simServeable{inc: inc} }
 
-func (s *simServeable) Algo() string            { return "sim" }
-func (s *simServeable) Graph() *graph.Graph     { return s.inc.Graph() }
-func (s *simServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *simServeable) Algo() string        { return "sim" }
+func (s *simServeable) Graph() *graph.Graph { return s.inc.Graph() }
+func (s *simServeable) Apply(b graph.Batch) ApplyResult {
+	return statsDelta(s.inc, func() int { return s.inc.Apply(b) })
+}
 func (s *simServeable) Snapshot() any {
 	r := s.inc.Relation()
 	n := len(r.Bits) / r.NQ
@@ -108,9 +133,11 @@ type dfsServeable struct{ inc *dfs.Inc }
 // DFS adapts an IncDFS maintainer.
 func DFS(inc *dfs.Inc) Serveable { return &dfsServeable{inc: inc} }
 
-func (s *dfsServeable) Algo() string            { return "dfs" }
-func (s *dfsServeable) Graph() *graph.Graph     { return s.inc.Graph() }
-func (s *dfsServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *dfsServeable) Algo() string        { return "dfs" }
+func (s *dfsServeable) Graph() *graph.Graph { return s.inc.Graph() }
+func (s *dfsServeable) Apply(b graph.Batch) ApplyResult {
+	return ApplyResult{Affected: s.inc.Apply(b)}
+}
 func (s *dfsServeable) Snapshot() any {
 	t := s.inc.Tree()
 	return DFSView{
@@ -134,9 +161,11 @@ type lccServeable struct{ inc *lcc.Inc }
 // LCC adapts an IncLCC maintainer.
 func LCC(inc *lcc.Inc) Serveable { return &lccServeable{inc: inc} }
 
-func (s *lccServeable) Algo() string            { return "lcc" }
-func (s *lccServeable) Graph() *graph.Graph     { return s.inc.Graph() }
-func (s *lccServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *lccServeable) Algo() string        { return "lcc" }
+func (s *lccServeable) Graph() *graph.Graph { return s.inc.Graph() }
+func (s *lccServeable) Apply(b graph.Batch) ApplyResult {
+	return ApplyResult{Affected: s.inc.Apply(b)}
+}
 func (s *lccServeable) Snapshot() any {
 	r := s.inc.Result()
 	v := LCCView{
@@ -163,9 +192,11 @@ type bcServeable struct{ inc *bc.Inc }
 // BC adapts an IncBC maintainer.
 func BC(inc *bc.Inc) Serveable { return &bcServeable{inc: inc} }
 
-func (s *bcServeable) Algo() string            { return "bc" }
-func (s *bcServeable) Graph() *graph.Graph     { return s.inc.Graph() }
-func (s *bcServeable) Apply(b graph.Batch) int { return s.inc.Apply(b) }
+func (s *bcServeable) Algo() string        { return "bc" }
+func (s *bcServeable) Graph() *graph.Graph { return s.inc.Graph() }
+func (s *bcServeable) Apply(b graph.Batch) ApplyResult {
+	return ApplyResult{Affected: s.inc.Apply(b)}
+}
 func (s *bcServeable) Snapshot() any {
 	r := s.inc.Result()
 	return BCView{

@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"incgraph/internal/graph"
+	"incgraph/internal/obs"
 )
 
 // Service is a set of named hosts behind one HTTP API:
@@ -15,6 +17,8 @@ import (
 //	POST /update[?algo=<name>][&wait=1]  body: batch text ("+ u v w" / "- u v [w]")
 //	GET  /query/{algo}                   current snapshot view, JSON
 //	GET  /stats                          per-host serving counters, JSON
+//	GET  /metrics                        Prometheus text exposition
+//	GET  /debug/applies[?algo=<name>]    recent apply trace events, JSON
 //	GET  /healthz                        liveness
 //
 // An update with no algo parameter is broadcast to every host: each
@@ -23,15 +27,36 @@ import (
 type Service struct {
 	mu    sync.RWMutex
 	hosts map[string]*Host
+	reg   *obs.Registry
+	start time.Time
 }
 
-// NewService returns an empty service.
+// NewService returns an empty service with a fresh metric registry; every
+// host registered on it lands its metrics there, so one /metrics scrape
+// covers all algos.
 func NewService() *Service {
-	return &Service{hosts: make(map[string]*Host)}
+	s := &Service{
+		hosts: make(map[string]*Host),
+		reg:   obs.NewRegistry(),
+		start: time.Now(),
+	}
+	s.reg.GaugeFunc("incgraph_uptime_seconds",
+		"Seconds since the service was created.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	return s
 }
 
-// Host wraps m in a new Host and registers it under its Algo name.
+// Registry returns the service's metric registry, for mounting extra
+// process-level metrics next to the per-host ones.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Host wraps m in a new Host and registers it under its Algo name. The
+// host's metrics land in the service registry unless opt.Registry
+// overrides it.
 func (s *Service) Host(m Serveable, opt Options) (*Host, error) {
+	if opt.Registry == nil {
+		opt.Registry = s.reg
+	}
 	h := NewHost(m, opt)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -106,6 +131,23 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, h.View())
+	})
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /debug/applies", func(w http.ResponseWriter, r *http.Request) {
+		hosts := s.Hosts()
+		if algo := r.URL.Query().Get("algo"); algo != "" {
+			h := s.Get(algo)
+			if h == nil {
+				httpError(w, http.StatusNotFound, fmt.Errorf("unknown algo %q", algo))
+				return
+			}
+			hosts = []*Host{h}
+		}
+		applies := make(map[string][]ApplyTrace, len(hosts))
+		for _, h := range hosts {
+			applies[h.Algo()] = h.RecentApplies()
+		}
+		writeJSON(w, http.StatusOK, applies)
 	})
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	return mux

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"incgraph/internal/cc"
+	"incgraph/internal/graph"
+)
+
+// promValue extracts the value of the first sample matching the series
+// prefix (metric name + label block) from an exposition body.
+func promValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, ln := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(ln, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in exposition:\n%s", series, body)
+	return 0
+}
+
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?)$`)
+
+// TestMetricsEndToEnd drives a two-host service over HTTP and scrapes
+// GET /metrics: the exposition must be valid Prometheus text format and
+// carry the apply-latency quantiles, the live boundedness ratio, and the
+// per-algo coalescing counters the acceptance criteria name.
+func TestMetricsEndToEnd(t *testing.T) {
+	_, ts := newTestService(t)
+
+	// One batch: a churn pair (the insert cancels, leaving the delete —
+	// the coalescer cannot know edge 4-5 never existed), a fresh insert,
+	// and a deletion of a real edge so h has revision work to do. Raw 4
+	// updates, net 3, coalesced 1.
+	code, body := postUpdate(t, ts.URL+"/update?wait=1", "+ 2 3 1\n+ 4 5 9\n- 4 5\n- 1 2\n")
+	if code != http.StatusOK {
+		t.Fatalf("update status %d: %s", code, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	expo := string(raw)
+
+	// Every sample line must parse.
+	for _, ln := range strings.Split(strings.TrimRight(expo, "\n"), "\n") {
+		if strings.HasPrefix(ln, "# HELP ") || strings.HasPrefix(ln, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(ln) {
+			t.Fatalf("invalid exposition line: %q", ln)
+		}
+	}
+
+	// Apply-latency quantiles per algo.
+	for _, algo := range []string{"cc", "sssp"} {
+		for _, q := range []string{"0.5", "0.95", "0.99", "1"} {
+			v := promValue(t, expo, `incgraph_apply_latency_seconds{algo="`+algo+`",quantile="`+q+`"}`)
+			if v <= 0 {
+				t.Errorf("%s p%s apply latency = %g, want > 0", algo, q, v)
+			}
+		}
+		if n := promValue(t, expo, `incgraph_apply_latency_seconds_count{algo="`+algo+`"}`); n != 1 {
+			t.Errorf("%s apply count %g, want 1", algo, n)
+		}
+		// The churn pair's insert must show up as a coalesced update.
+		if c := promValue(t, expo, `incgraph_updates_coalesced_total{algo="`+algo+`"}`); c != 1 {
+			t.Errorf("%s coalesced %g, want 1", algo, c)
+		}
+		if r := promValue(t, expo, `incgraph_coalesce_ratio{algo="`+algo+`",quantile="0.5"}`); r < 0.2 || r > 0.3 {
+			t.Errorf("%s coalesce ratio %g, want ~1/4", algo, r)
+		}
+		if d := promValue(t, expo, `incgraph_queue_depth{algo="`+algo+`"}`); d != 0 {
+			t.Errorf("%s queue depth %g after wait=1", algo, d)
+		}
+	}
+
+	// The boundedness-ratio gauge: the deletion of edge 1-2 forces h to
+	// revise, so |AFF| and the ratio must be positive.
+	if v := promValue(t, expo, `incgraph_aff_per_delta_ratio{algo="cc"}`); v <= 0 {
+		t.Errorf("cc aff/delta ratio = %g, want > 0", v)
+	}
+	if v := promValue(t, expo, `incgraph_fixpoint_inspected_total{algo="cc"}`); v <= 0 {
+		t.Errorf("cc inspected total = %g, want > 0", v)
+	}
+	if v := promValue(t, expo, `incgraph_uptime_seconds`); v <= 0 {
+		t.Errorf("uptime = %g, want > 0", v)
+	}
+	if v := promValue(t, expo, `incgraph_graph_nodes{algo="cc"}`); v != 6 {
+		t.Errorf("graph nodes = %g, want 6", v)
+	}
+}
+
+// TestDebugApplies checks the recent-applies trace ring over HTTP: the
+// per-batch record of |ΔG| raw/net, |AFF|, and the latency split.
+func TestDebugApplies(t *testing.T) {
+	svc, ts := newTestService(t)
+
+	if code, body := postUpdate(t, ts.URL+"/update?wait=1", "+ 2 3 1\n+ 4 5 9\n- 4 5\n- 1 2\n"); code != http.StatusOK {
+		t.Fatalf("update status %d: %s", code, body)
+	}
+
+	var applies map[string][]ApplyTrace
+	if code := getJSON(t, ts.URL+"/debug/applies", &applies); code != http.StatusOK {
+		t.Fatalf("debug/applies status %d", code)
+	}
+	for _, algo := range []string{"cc", "sssp"} {
+		trs := applies[algo]
+		if len(trs) != 1 {
+			t.Fatalf("%s: %d traces, want 1: %+v", algo, len(trs), trs)
+		}
+		tr := trs[0]
+		if tr.Algo != algo || tr.Epoch != 4 || tr.Batch != 1 {
+			t.Errorf("%s: trace header %+v", algo, tr)
+		}
+		if tr.RawUpdates != 4 || tr.NetUpdates != 3 {
+			t.Errorf("%s: raw/net %d/%d, want 4/3", algo, tr.RawUpdates, tr.NetUpdates)
+		}
+		if tr.ApplyNanos <= 0 || tr.QueueWaitNanos < 0 || tr.UnixNanos <= 0 {
+			t.Errorf("%s: timings %+v", algo, tr)
+		}
+	}
+	// CC runs on the fixpoint engine: the trace must carry its counters.
+	if cc := applies["cc"][0]; cc.Inspected <= 0 {
+		t.Errorf("cc trace lost the fixpoint counters: %+v", cc)
+	}
+
+	// Filtering by algo, and rejecting unknown algos.
+	var one map[string][]ApplyTrace
+	if code := getJSON(t, ts.URL+"/debug/applies?algo=cc", &one); code != http.StatusOK {
+		t.Fatalf("filtered debug/applies status %d", code)
+	}
+	if len(one) != 1 || len(one["cc"]) != 1 {
+		t.Fatalf("filtered applies %+v", one)
+	}
+	resp, err := http.Get(ts.URL + "/debug/applies?algo=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown algo status %d", resp.StatusCode)
+	}
+	_ = svc
+}
+
+// TestStatsDerivedFields checks the /stats satellite: uptime, mean apply
+// latency, and the propagated fixpoint counters are reported, not left
+// for clients to derive from raw totals.
+func TestStatsDerivedFields(t *testing.T) {
+	_, ts := newTestService(t)
+	if code, body := postUpdate(t, ts.URL+"/update?wait=1", "+ 2 3 1\n"); code != http.StatusOK {
+		t.Fatalf("update status %d: %s", code, body)
+	}
+	if code, body := postUpdate(t, ts.URL+"/update?wait=1", "- 2 3\n"); code != http.StatusOK {
+		t.Fatalf("update status %d: %s", code, body)
+	}
+
+	var stats map[string]Stats
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	for _, algo := range []string{"cc", "sssp"} {
+		st := stats[algo]
+		if st.UptimeSeconds <= 0 {
+			t.Errorf("%s: uptime %g", algo, st.UptimeSeconds)
+		}
+		if st.BatchesApplied == 0 || st.MeanApplyNanos != st.TotalApplyNanos/int64(st.BatchesApplied) {
+			t.Errorf("%s: mean %d, total %d over %d batches", algo, st.MeanApplyNanos, st.TotalApplyNanos, st.BatchesApplied)
+		}
+		if st.QueueDepth != 0 {
+			t.Errorf("%s: queue depth %d after wait=1", algo, st.QueueDepth)
+		}
+		// Engine-based maintainers propagate their cost counters; the
+		// deletion forces h to actually inspect something.
+		if st.Fixpoint.Inspected() <= 0 {
+			t.Errorf("%s: fixpoint counters not propagated: %+v", algo, st.Fixpoint)
+		}
+	}
+}
+
+// TestTraceRingBounded proves the per-host ring keeps only the last
+// Trace applies.
+func TestTraceRingBounded(t *testing.T) {
+	g := graph.New(4, false)
+	h := NewHost(CC(cc.NewInc(g)), Options{MaxBatch: 1, MaxWait: time.Hour, Trace: 4})
+	defer h.Close()
+	for i := 0; i < 10; i++ {
+		b := graph.Batch{{Kind: graph.InsertEdge, From: 0, To: 1, W: 1}}
+		if i%2 == 1 {
+			b = graph.Batch{{Kind: graph.DeleteEdge, From: 0, To: 1}}
+		}
+		if err := h.SubmitWait(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trs := h.RecentApplies()
+	if len(trs) != 4 {
+		t.Fatalf("ring kept %d traces, want 4", len(trs))
+	}
+	if trs[len(trs)-1].Batch != 10 {
+		t.Fatalf("newest trace is batch %d, want 10", trs[len(trs)-1].Batch)
+	}
+	for i := 1; i < len(trs); i++ {
+		if trs[i].Batch != trs[i-1].Batch+1 {
+			t.Fatalf("traces out of order: %+v", trs)
+		}
+	}
+}

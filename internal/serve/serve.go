@@ -25,7 +25,9 @@ import (
 
 	"sync"
 
+	"incgraph/internal/fixpoint"
 	"incgraph/internal/graph"
+	"incgraph/internal/obs"
 )
 
 // Serveable adapts an incremental maintainer to the service layer. The
@@ -41,12 +43,60 @@ type Serveable interface {
 	// coalescing). The host never mutates or reads it afterwards.
 	Graph() *graph.Graph
 	// Apply incorporates a (pre-coalesced) batch, returning the
-	// maintainer's affected-area measure.
-	Apply(b graph.Batch) int
+	// maintainer's affected-area measure and cost counters.
+	Apply(b graph.Batch) ApplyResult
 	// Snapshot returns a deep copy of the current result view. The value
 	// must remain valid — and must never be mutated by anyone — after
 	// further Apply calls, because readers retain it without locks.
 	Snapshot() any
+}
+
+// ApplyResult is what a maintainer reports back from one Apply call: the
+// affected-area measure the paper's boundedness analysis is about, plus
+// — for maintainers built on the fixpoint engine — the per-apply delta
+// of the engine's cost counters (reads, pops, the h/resume time split of
+// Exp-2(2)). Adapters must report the delta attributable to this Apply,
+// not the maintainer's cumulative totals.
+type ApplyResult struct {
+	// Affected is |H⁰| (or the class's equivalent affected-area measure).
+	Affected int
+	// Stats is the per-apply fixpoint counter delta; meaningful only when
+	// HasStats is set.
+	Stats fixpoint.Stats
+	// HasStats reports whether the maintainer exposes fixpoint counters.
+	// DFS, LCC, and BC use specialized repair machinery without the
+	// generic engine and report only Affected.
+	HasStats bool
+}
+
+// ApplyTrace is one entry of a host's bounded ring of recent applies —
+// the raw material for watching the boundedness claim live: |AFF| against
+// |ΔG| (raw and net of coalescing), the h/resume split, and where the
+// latency went. Dumped by GET /debug/applies.
+type ApplyTrace struct {
+	Algo string `json:"algo"`
+	// Epoch is the raw-update epoch of the view this apply published.
+	Epoch uint64 `json:"epoch"`
+	// Batch is the ordinal of this Apply call on the maintainer.
+	Batch uint64 `json:"batch"`
+	// RawUpdates and NetUpdates are |ΔG| before and after coalescing.
+	RawUpdates int `json:"raw_updates"`
+	NetUpdates int `json:"net_updates"`
+	// Affected is the maintainer's affected-area measure for this batch.
+	Affected int `json:"affected"`
+	// QueueWaitNanos is how long the oldest merged submission sat queued
+	// before the maintainer saw it.
+	QueueWaitNanos int64 `json:"queue_wait_nanos"`
+	ApplyNanos     int64 `json:"apply_nanos"`
+	// HNanos/ResumeNanos split ApplyNanos into the initial scope function
+	// h and the resumed step function (engine-based maintainers only).
+	HNanos      int64 `json:"h_nanos"`
+	ResumeNanos int64 `json:"resume_nanos"`
+	// Inspected is the per-apply variable-inspection count (engine-based
+	// maintainers only).
+	Inspected int64 `json:"inspected"`
+	// UnixNanos timestamps the apply's completion.
+	UnixNanos int64 `json:"unix_nanos"`
 }
 
 // View is one published snapshot: the result of some applied prefix of
@@ -90,6 +140,14 @@ type Stats struct {
 	LastApplyNanos  int64 `json:"last_apply_nanos"`
 	MaxApplyNanos   int64 `json:"max_apply_nanos"`
 	TotalApplyNanos int64 `json:"total_apply_nanos"`
+	// MeanApplyNanos is TotalApplyNanos/BatchesApplied, precomputed so
+	// clients don't have to divide raw totals.
+	MeanApplyNanos int64 `json:"mean_apply_nanos"`
+	// UptimeSeconds is the time since the host started serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Fixpoint aggregates the maintainer's per-apply cost-counter deltas
+	// (engine-based maintainers only; ScopeSize is the last apply's |H⁰|).
+	Fixpoint fixpoint.Stats `json:"fixpoint"`
 }
 
 // Options tune a host's batching behaviour.
@@ -103,6 +161,18 @@ type Options struct {
 	// Queue is the submission channel's buffer (backpressure beyond it:
 	// Submit blocks). Default 1024.
 	Queue int
+	// Registry receives the host's metrics (apply-latency histograms,
+	// coalescing counters, the live boundedness-ratio gauge). A Service
+	// passes its own registry so /metrics covers every host; nil gets a
+	// private registry, keeping standalone hosts self-contained.
+	Registry *obs.Registry
+	// Trace is the capacity of the recent-applies ring buffer behind
+	// GET /debug/applies. Default 128.
+	Trace int
+	// OnApply, when set, is invoked synchronously from the apply loop
+	// after each published batch — the hook structured logging hangs off.
+	// It must be fast and must not call back into the Host.
+	OnApply func(ApplyTrace)
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +185,12 @@ func (o Options) withDefaults() Options {
 	if o.Queue <= 0 {
 		o.Queue = 1024
 	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.Trace <= 0 {
+		o.Trace = 128
+	}
 	return o
 }
 
@@ -124,6 +200,50 @@ var ErrClosed = errors.New("serve: host closed")
 type submission struct {
 	b   graph.Batch
 	ack chan struct{}
+	at  time.Time // enqueue time, for the queue-wait histogram
+}
+
+// hostMetrics are a host's registry handles, resolved once at
+// construction so the apply loop only touches lock-free atomics.
+type hostMetrics struct {
+	updatesReceived *obs.Counter
+	updatesApplied  *obs.Counter
+	updatesCoal     *obs.Counter
+	batchesApplied  *obs.Counter
+	affectedTotal   *obs.Counter
+	hSecondsTotal   *obs.Counter
+	resumeSeconds   *obs.Counter
+	inspectedTotal  *obs.Counter
+
+	applyLatency  *obs.Histogram
+	batchSize     *obs.Histogram
+	queueWait     *obs.Histogram
+	coalesceRatio *obs.Histogram
+
+	affRatio     *obs.Gauge
+	inspectedPer *obs.Gauge
+	scopeSize    *obs.Gauge
+}
+
+func newHostMetrics(r *obs.Registry, algo string) hostMetrics {
+	l := obs.L("algo", algo)
+	return hostMetrics{
+		updatesReceived: r.Counter("incgraph_updates_received_total", "Raw unit updates accepted by Submit.", l),
+		updatesApplied:  r.Counter("incgraph_updates_applied_total", "Raw unit updates incorporated into the published view.", l),
+		updatesCoal:     r.Counter("incgraph_updates_coalesced_total", "Updates cancelled by batch coalescing before reaching the maintainer.", l),
+		batchesApplied:  r.Counter("incgraph_batches_applied_total", "Apply calls on the maintainer.", l),
+		affectedTotal:   r.Counter("incgraph_affected_total", "Sum of per-apply affected-area measures (|AFF|).", l),
+		hSecondsTotal:   r.Counter("incgraph_fixpoint_h_seconds_total", "Wall seconds spent in the initial scope function h.", l),
+		resumeSeconds:   r.Counter("incgraph_fixpoint_resume_seconds_total", "Wall seconds spent in the resumed step function.", l),
+		inspectedTotal:  r.Counter("incgraph_fixpoint_inspected_total", "Status-variable inspections (reads+updates+pops) by incremental runs.", l),
+		applyLatency:    r.Histogram("incgraph_apply_latency_seconds", "Wall time of one maintainer Apply call.", l),
+		batchSize:       r.Histogram("incgraph_batch_size_updates", "Raw unit updates merged into one Apply call.", l),
+		queueWait:       r.Histogram("incgraph_queue_wait_seconds", "Queue time of the oldest submission merged into each batch.", l),
+		coalesceRatio:   r.Histogram("incgraph_coalesce_ratio", "Fraction of each batch cancelled by coalescing (raw-net)/raw.", l),
+		affRatio:        r.Gauge("incgraph_aff_per_delta_ratio", "Last apply's |AFF|/|ΔG| — the observed relative-boundedness ratio.", l),
+		inspectedPer:    r.Gauge("incgraph_inspected_per_update", "Last apply's fixpoint inspections per net update.", l),
+		scopeSize:       r.Gauge("incgraph_fixpoint_scope_size", "Last apply's initial scope size |H⁰|.", l),
+	}
 }
 
 // Host runs one maintainer behind a single-writer apply loop with
@@ -153,6 +273,10 @@ type Host struct {
 	statMu sync.Mutex
 	stats  Stats
 
+	start  time.Time
+	met    hostMetrics
+	traces *obs.Ring[ApplyTrace]
+
 	// submitMu serializes Submit against Close: Submit sends on in under
 	// the read side, Close flips closed under the write side, so no send
 	// can race past a completed Close and be silently dropped.
@@ -180,9 +304,25 @@ func NewHost(m Serveable, opt Options) *Host {
 	h.in = make(chan submission, h.opt.Queue)
 	h.view = &View{Algo: h.algo, Data: m.Snapshot()}
 	h.stats.Algo = h.algo
+	h.start = time.Now()
+	h.met = newHostMetrics(h.opt.Registry, h.algo)
+	h.traces = obs.NewRing[ApplyTrace](h.opt.Trace)
+	h.opt.Registry.GaugeFunc("incgraph_queue_depth",
+		"Received-but-not-yet-applied unit updates.",
+		func() float64 { return float64(h.Stats().QueueDepth) },
+		obs.L("algo", h.algo))
+	h.opt.Registry.Gauge("incgraph_graph_nodes",
+		"Node count of the maintained graph at registration.",
+		obs.L("algo", h.algo)).Set(float64(h.n))
 	go h.loop()
 	return h
 }
+
+// Registry returns the registry the host's metrics live in.
+func (h *Host) Registry() *obs.Registry { return h.opt.Registry }
+
+// RecentApplies returns the retained apply trace events, oldest first.
+func (h *Host) RecentApplies() []ApplyTrace { return h.traces.Snapshot() }
 
 // Algo returns the hosted query class name.
 func (h *Host) Algo() string { return h.algo }
@@ -198,12 +338,17 @@ func (h *Host) View() *View {
 	return h.view
 }
 
-// Stats returns a copy of the serving counters.
+// Stats returns a copy of the serving counters, with the derived fields
+// (queue depth, mean latency, uptime) filled in.
 func (h *Host) Stats() Stats {
 	h.statMu.Lock()
 	s := h.stats
 	h.statMu.Unlock()
 	s.QueueDepth = s.UpdatesReceived - s.UpdatesApplied
+	if s.BatchesApplied > 0 {
+		s.MeanApplyNanos = s.TotalApplyNanos / int64(s.BatchesApplied)
+	}
+	s.UptimeSeconds = time.Since(h.start).Seconds()
 	return s
 }
 
@@ -244,7 +389,8 @@ func (h *Host) submit(b graph.Batch, wait bool) (chan struct{}, error) {
 	h.statMu.Lock()
 	h.stats.UpdatesReceived += uint64(len(owned))
 	h.statMu.Unlock()
-	h.in <- submission{b: owned, ack: ack}
+	h.met.updatesReceived.Add(float64(len(owned)))
+	h.in <- submission{b: owned, ack: ack, at: time.Now()}
 	return ack, nil
 }
 
@@ -269,6 +415,7 @@ func (h *Host) loop() {
 	var (
 		pending graph.Batch
 		acks    []chan struct{}
+		oldest  time.Time // enqueue time of pending's first submission
 		timer   *time.Timer
 		timerC  <-chan time.Time
 	)
@@ -278,7 +425,7 @@ func (h *Host) loop() {
 			timer, timerC = nil, nil
 		}
 		if len(pending) > 0 {
-			h.apply(pending)
+			h.apply(pending, oldest)
 			pending = nil
 		}
 		for _, a := range acks {
@@ -287,6 +434,9 @@ func (h *Host) loop() {
 		acks = nil
 	}
 	add := func(s submission) {
+		if len(pending) == 0 {
+			oldest = s.at
+		}
 		pending = append(pending, s.b...)
 		if s.ack != nil {
 			acks = append(acks, s.ack)
@@ -324,12 +474,14 @@ func (h *Host) loop() {
 	}
 }
 
-// apply coalesces one accumulated batch, feeds it to the maintainer, and
-// publishes the new view. Called only from loop.
-func (h *Host) apply(raw graph.Batch) {
+// apply coalesces one accumulated batch, feeds it to the maintainer,
+// publishes the new view, and records the apply in counters, histograms,
+// gauges, and the trace ring. Called only from loop.
+func (h *Host) apply(raw graph.Batch, oldest time.Time) {
 	net := raw.Net(h.dir)
 	t0 := time.Now()
-	aff := h.m.Apply(net)
+	queueWait := t0.Sub(oldest).Nanoseconds()
+	res := h.m.Apply(net)
 	lat := time.Since(t0).Nanoseconds()
 	data := h.m.Snapshot()
 
@@ -337,12 +489,15 @@ func (h *Host) apply(raw graph.Batch) {
 	h.stats.BatchesApplied++
 	h.stats.UpdatesApplied += uint64(len(raw))
 	h.stats.UpdatesCoalesced += uint64(len(raw) - len(net))
-	h.stats.AffectedTotal += int64(aff)
+	h.stats.AffectedTotal += int64(res.Affected)
 	h.stats.Epoch = h.stats.UpdatesApplied
 	h.stats.LastApplyNanos = lat
 	h.stats.TotalApplyNanos += lat
 	if lat > h.stats.MaxApplyNanos {
 		h.stats.MaxApplyNanos = lat
+	}
+	if res.HasStats {
+		h.stats.Fixpoint = h.stats.Fixpoint.Add(res.Stats)
 	}
 	epoch, batches := h.stats.Epoch, h.stats.BatchesApplied
 	h.statMu.Unlock()
@@ -351,4 +506,47 @@ func (h *Host) apply(raw graph.Batch) {
 	h.viewMu.Lock()
 	h.view = v
 	h.viewMu.Unlock()
+
+	m := &h.met
+	m.updatesApplied.Add(float64(len(raw)))
+	m.updatesCoal.Add(float64(len(raw) - len(net)))
+	m.batchesApplied.Inc()
+	m.affectedTotal.Add(float64(res.Affected))
+	m.applyLatency.Observe(float64(lat) / 1e9)
+	m.batchSize.Observe(float64(len(raw)))
+	m.queueWait.Observe(float64(queueWait) / 1e9)
+	m.coalesceRatio.Observe(float64(len(raw)-len(net)) / float64(len(raw)))
+	if len(net) > 0 {
+		// The live boundedness ratio: the paper's Theorem 3 bounds the
+		// incremental cost by a function of |ΔG| and |AFF|, so a ratio
+		// that stays flat as the graph grows is boundedness observed.
+		m.affRatio.Set(float64(res.Affected) / float64(len(net)))
+	}
+	tr := ApplyTrace{
+		Algo:           h.algo,
+		Epoch:          epoch,
+		Batch:          batches,
+		RawUpdates:     len(raw),
+		NetUpdates:     len(net),
+		Affected:       res.Affected,
+		QueueWaitNanos: queueWait,
+		ApplyNanos:     lat,
+		UnixNanos:      t0.UnixNano() + lat,
+	}
+	if res.HasStats {
+		m.hSecondsTotal.Add(res.Stats.HSeconds)
+		m.resumeSeconds.Add(res.Stats.ResumeSeconds)
+		m.inspectedTotal.Add(float64(res.Stats.Inspected()))
+		m.scopeSize.Set(float64(res.Stats.ScopeSize))
+		if len(net) > 0 {
+			m.inspectedPer.Set(float64(res.Stats.Inspected()) / float64(len(net)))
+		}
+		tr.HNanos = int64(res.Stats.HSeconds * 1e9)
+		tr.ResumeNanos = int64(res.Stats.ResumeSeconds * 1e9)
+		tr.Inspected = res.Stats.Inspected()
+	}
+	h.traces.Push(tr)
+	if h.opt.OnApply != nil {
+		h.opt.OnApply(tr)
+	}
 }

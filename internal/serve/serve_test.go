@@ -69,11 +69,13 @@ func TestLoadConcurrentReaders(t *testing.T) {
 	}
 	observed := make([][]obs, readers)
 	stop := make(chan struct{})
-	var wg sync.WaitGroup
+	var wg, ready sync.WaitGroup
 	for r := 0; r < readers; r++ {
 		wg.Add(1)
+		ready.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			first := true
 			last := uint64(0)
 			hasLast := false
 			for {
@@ -91,9 +93,16 @@ func TestLoadConcurrentReaders(t *testing.T) {
 					observed[r] = append(observed[r], obs{v.Epoch, v.Data.(SSSPView).Dist})
 					last, hasLast = v.Epoch, true
 				}
+				if first {
+					first = false
+					ready.Done()
+				}
 			}
 		}(r)
 	}
+	// Every reader must have observed at least one view before ingest
+	// begins, or a fast ingest can outrun reader goroutine startup.
+	ready.Wait()
 
 	for i := 0; i < len(stream); i += chunk {
 		end := i + chunk
