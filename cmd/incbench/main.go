@@ -7,30 +7,88 @@
 //	incbench -exp all                 # every experiment at default scale
 //	incbench -exp exp2 -class sssp    # one figure family
 //	incbench -exp exp1 -scale 0.5     # smaller stand-ins
+//	incbench -exp exp2 -json out.json # machine-readable results alongside tables
+//	incbench -exp exp2 -trace t.json  # per-experiment flight recording (Perfetto)
+//
+// With -json, every measured batch-vs-incremental comparison is also
+// collected as a structured bench.Result, and the run is written as one
+// JSON document carrying the run parameters (seed, scale, Go version)
+// next to the results — the format CI archives and perf diffs consume.
+// With -trace, each experiment is recorded as a span in Chrome
+// trace_event JSON, loadable in Perfetto to see where a long -exp all
+// run spends its time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"incgraph/internal/bench"
+	"incgraph/internal/trace"
 )
+
+// report is the JSON document -json writes: the run's parameters plus
+// every collected result.
+type report struct {
+	Schema     string         `json:"schema"`
+	Experiment string         `json:"experiment"`
+	Class      string         `json:"class"`
+	Seed       int64          `json:"seed"`
+	Scale      float64        `json:"scale"`
+	GoVersion  string         `json:"go_version"`
+	UnixTime   int64          `json:"unix_time"`
+	Results    []bench.Result `json:"results"`
+}
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|exp1|exp2|exp2types|exp3|exp4|aff|ablation|datasets|extensions|all")
-		class = flag.String("class", "all", "query class for exp2: sssp|cc|sim|lcc|dfs|all")
-		scale = flag.Float64("scale", 1.0, "dataset scale multiplier")
-		seed  = flag.Int64("seed", 1, "workload seed")
+		exp      = flag.String("exp", "all", "experiment: table1|exp1|exp2|exp2types|exp3|exp4|aff|ablation|datasets|extensions|all")
+		class    = flag.String("class", "all", "query class for exp2: sssp|cc|sim|lcc|dfs|all")
+		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event recording of the run to this file")
 	)
 	flag.Parse()
 	cfg := bench.Config{Seed: *seed, Scale: *scale, Out: os.Stdout}
 
+	rep := report{
+		Schema:     "incgraph-bench/v1",
+		Experiment: *exp,
+		Class:      *class,
+		Seed:       *seed,
+		Scale:      *scale,
+		GoVersion:  runtime.Version(),
+		UnixTime:   time.Now().Unix(),
+		Results:    []bench.Result{},
+	}
+	if *jsonOut != "" {
+		cfg.Report = func(r bench.Result) { rep.Results = append(rep.Results, r) }
+	}
+
+	var rec *trace.Recorder
+	var track int32
+	if *traceOut != "" {
+		// Unbounded for practical purposes: a full -exp all run emits a
+		// few dozen experiment spans, far below this ring.
+		rec = trace.NewRecorder(4096)
+		track = rec.Track("incbench")
+	}
+
 	run := func(name string, f func(bench.Config)) {
 		start := time.Now()
+		var sp trace.Span
+		if rec != nil {
+			sp = rec.Begin(name, "bench", track)
+		}
 		f(cfg)
+		if rec != nil {
+			sp.End()
+		}
 		fmt.Printf("-- %s done in %.1fs --\n", name, time.Since(start).Seconds())
 	}
 	exp2 := func() {
@@ -86,4 +144,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+
+	if *jsonOut != "" {
+		if err := writeJSONFile(*jsonOut, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "incbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- wrote %d results to %s --\n", len(rep.Results), *jsonOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = rec.WriteTraceEvents(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "incbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- wrote trace to %s --\n", *traceOut)
+	}
+}
+
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(v)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

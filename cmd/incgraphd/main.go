@@ -9,6 +9,7 @@
 //	incgraphd -gen powerlaw -nodes 10000 -deg 8 -algos cc,lcc,bc
 //	incgraphd -graph g.txt -algos sim -pattern q.txt
 //	incgraphd -graph g.txt -algos cc -log-level debug -debug-addr :6060
+//	incgraphd -graph g.txt -algos cc -access-log
 //
 // API:
 //
@@ -17,7 +18,17 @@
 //	GET  /stats                          per-maintainer serving counters (JSON)
 //	GET  /metrics                        Prometheus text exposition
 //	GET  /debug/applies[?algo=<name>]    recent apply trace events (JSON)
+//	GET  /debug/trace                    flight recording, Chrome trace_event JSON
 //	GET  /healthz                        liveness
+//
+// The daemon keeps a bounded flight recorder of spans — batch lifecycle
+// (queue wait, coalesce, apply, publish) plus the fixpoint engine's h and
+// resume phases with per-round events — dumped by GET /debug/trace in a
+// format Perfetto loads directly. POST /update accepts a W3C traceparent
+// header; the trace ID rides through the submission queue onto the apply
+// and shows up in the spans, the debug log, and the access log, so one
+// request can be followed end to end. -access-log turns on one slog line
+// per HTTP request (method, path, status, duration, trace ID).
 //
 // With -debug-addr set, a second listener serves net/http/pprof profiles
 // and expvar counters (/debug/pprof/, /debug/vars) — kept off the main
@@ -67,6 +78,7 @@ func main() {
 
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error (debug logs every apply)")
 		debugAddr = flag.String("debug-addr", "", "optional second listener for pprof and expvar (e.g. :6060)")
+		accessLog = flag.Bool("access-log", false, "log every HTTP request (method, path, status, duration, trace ID)")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logLevel)
@@ -75,7 +87,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(logger, *listen, *debugAddr, *graphPath, *algos, *pattern, *genKind,
-		incgraph.NodeID(*src), *genSeed, *genNodes, *genDeg, *genDirect,
+		incgraph.NodeID(*src), *genSeed, *genNodes, *genDeg, *genDirect, *accessLog,
 		incgraph.ServeOptions{MaxBatch: *maxBatch, MaxWait: *maxWait, Queue: *queue}); err != nil {
 		logger.Error("exiting", "err", err)
 		os.Exit(1)
@@ -93,7 +105,7 @@ func newLogger(level string) (*slog.Logger, error) {
 }
 
 func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, genKind string,
-	src incgraph.NodeID, seed int64, nodes, deg int, directed bool, opt incgraph.ServeOptions) error {
+	src incgraph.NodeID, seed int64, nodes, deg int, directed, accessLog bool, opt incgraph.ServeOptions) error {
 	if algos == "" {
 		return fmt.Errorf("missing -algos (e.g. -algos sssp,cc)")
 	}
@@ -125,7 +137,8 @@ func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, 
 			"net_size", t.NetUpdates,
 			"affected", t.Affected,
 			"apply_latency", time.Duration(t.ApplyNanos),
-			"queue_wait", time.Duration(t.QueueWaitNanos))
+			"queue_wait", time.Duration(t.QueueWaitNanos),
+			"trace", t.TraceID)
 	}
 
 	svc := incgraph.NewService()
@@ -160,7 +173,11 @@ func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, 
 		}()
 	}
 
-	srv := &http.Server{Addr: listen, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if accessLog {
+		handler = incgraph.AccessLog(logger, handler)
+	}
+	srv := &http.Server{Addr: listen, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

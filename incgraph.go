@@ -26,6 +26,8 @@ package incgraph
 
 import (
 	"io"
+	"log/slog"
+	"net/http"
 
 	"incgraph/internal/bc"
 	"incgraph/internal/cc"
@@ -37,6 +39,7 @@ import (
 	"incgraph/internal/serve"
 	"incgraph/internal/sim"
 	"incgraph/internal/sssp"
+	"incgraph/internal/trace"
 )
 
 // Graph construction and update vocabulary, re-exported from the graph
@@ -198,6 +201,16 @@ type (
 	// FixpointStats are the engine's cost counters, the quantities the
 	// paper's relative-boundedness guarantee (Theorem 3) is stated over.
 	FixpointStats = fixpoint.Stats
+	// FixpointTracer is the engine's optional span hook: nil means the
+	// untraced (zero-cost) path; internal/trace provides the standard
+	// flight-recorder implementation.
+	FixpointTracer = fixpoint.Tracer
+	// TraceID is a W3C trace-context trace ID, carried from a request's
+	// traceparent header through the apply pipeline.
+	TraceID = trace.TraceID
+	// TraceRecorder is the bounded flight recorder behind GET /debug/trace;
+	// (*Service).Recorder exposes the service's own.
+	TraceRecorder = trace.Recorder
 )
 
 // NewService returns an empty serving layer; register maintainers with
@@ -206,6 +219,12 @@ func NewService() *Service { return serve.NewService() }
 
 // NewServeHost starts a standalone host (apply loop) for m.
 func NewServeHost(m Serveable, opt ServeOptions) *ServeHost { return serve.NewHost(m, opt) }
+
+// AccessLog wraps an HTTP handler with per-request logging and W3C
+// trace-context resolution (see cmd/incgraphd's -access-log).
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return serve.AccessLog(logger, next)
+}
 
 // ServeSSSP adapts an SSSP maintainer for serving; src must be the source
 // the maintainer was built with.

@@ -23,6 +23,46 @@ type Config struct {
 	Seed  int64
 	Scale float64 // dataset size multiplier; 1.0 is the default laptop scale
 	Out   io.Writer
+	// Report, when non-nil, receives one Result per measured comparison
+	// alongside the human-readable tables. incbench wires it to -json.
+	Report func(Result)
+}
+
+// Result is one machine-readable measurement: a batch baseline against
+// the deduced incremental algorithm on one dataset and workload. The
+// tables print everything the paper's figures show; Result carries the
+// subset downstream tooling wants to diff across commits — who ran,
+// where, how long each side took, how large the affected area was.
+type Result struct {
+	// Experiment identifies the harness function, e.g. "exp2-sssp".
+	Experiment string `json:"experiment"`
+	// Dataset is the stand-in name (FS, TW, OKT, …).
+	Dataset string `json:"dataset"`
+	// Algo is the deduced incremental algorithm measured, e.g. "IncSSSP".
+	Algo string `json:"algo"`
+	// Workload describes the update batch, e.g. "|ΔG|=4%" or "M3".
+	Workload string `json:"workload"`
+	// BatchSeconds is the recompute-from-scratch baseline.
+	BatchSeconds float64 `json:"batch_seconds"`
+	// IncSeconds is the incremental repair time.
+	IncSeconds float64 `json:"inc_seconds"`
+	// Affected is |AFF| (the scope size |H⁰| or its class equivalent)
+	// when the maintainer reports it; 0 otherwise.
+	Affected int `json:"affected,omitempty"`
+	// Speedup is BatchSeconds / IncSeconds.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// report fills the derived Speedup field and forwards r to the Report
+// hook when one is installed.
+func (cfg Config) report(r Result) {
+	if cfg.Report == nil {
+		return
+	}
+	if r.Speedup == 0 && r.IncSeconds > 0 {
+		r.Speedup = r.BatchSeconds / r.IncSeconds
+	}
+	cfg.Report(r)
 }
 
 // stopwatch runs f once and returns elapsed seconds.

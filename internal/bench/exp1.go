@@ -31,11 +31,19 @@ type staged interface {
 // timeRepair stages delta (untimed) when the maintainer supports it and
 // returns the seconds spent in the repair; otherwise it times Apply.
 func timeRepair(m applier, delta graph.Batch) float64 {
+	sec, _ := timeRepairAff(m, delta)
+	return sec
+}
+
+// timeRepairAff is timeRepair plus the affected-area size the repair
+// reported — the |AFF| column of the machine-readable results.
+func timeRepairAff(m applier, delta graph.Batch) (float64, int) {
+	var aff int
 	if s, ok := m.(staged); ok {
 		s.Stage(delta)
-		return stopwatch(func() { s.Repair() })
+		return stopwatch(func() { aff = s.Repair() }), aff
 	}
-	return stopwatch(func() { m.Apply(delta) })
+	return stopwatch(func() { aff = m.Apply(delta) }), aff
 }
 
 // avgUnit feeds the updates one at a time and returns the mean seconds

@@ -36,12 +36,15 @@ func Exp2SSSP(cfg Config) {
 			updated.Apply(delta)
 			batch := stopwatch(func() { sssp.Dijkstra(updated, 0) })
 			inc := sssp.NewInc(g.Clone(), 0)
-			incT := timeRepair(inc, delta)
+			incT, aff := timeRepairAff(inc, delta)
 			incN := sssp.NewIncUnit(g.Clone(), 0)
 			incNT := stopwatch(func() { incN.Apply(delta) })
 			dd := sssp.NewDynDij(g.Clone(), 0)
 			ddT := timeRepair(dd, delta)
 			t.row(fmt.Sprintf("%g%%", p), batch, incT, incNT, ddT)
+			cfg.report(Result{Experiment: "exp2-sssp", Dataset: name, Algo: "IncSSSP",
+				Workload:     fmt.Sprintf("|ΔG|=%g%%", p),
+				BatchSeconds: batch, IncSeconds: incT, Affected: aff})
 		}
 		t.flush()
 	}
@@ -62,7 +65,7 @@ func Exp2CC(cfg Config) {
 			updated.Apply(delta)
 			batch := stopwatch(func() { cc.CCfp(updated) })
 			inc := cc.NewInc(g.Clone())
-			incT := timeRepair(inc, delta)
+			incT, aff := timeRepairAff(inc, delta)
 			incN := cc.NewInc(g.Clone())
 			incNT := stopwatch(func() {
 				for _, u := range delta {
@@ -72,6 +75,9 @@ func Exp2CC(cfg Config) {
 			dyn := cc.NewDynCC(g.Clone())
 			dynT := stopwatch(func() { dyn.Apply(delta) })
 			t.row(fmt.Sprintf("%g%%", p), batch, incT, incNT, dynT)
+			cfg.report(Result{Experiment: "exp2-cc", Dataset: name, Algo: "IncCC",
+				Workload:     fmt.Sprintf("|ΔG|=%g%%", p),
+				BatchSeconds: batch, IncSeconds: incT, Affected: aff})
 		}
 		t.flush()
 	}
@@ -93,12 +99,15 @@ func Exp2Sim(cfg Config) {
 			updated.Apply(delta)
 			batch := stopwatch(func() { sim.Simfp(updated, q) })
 			inc := sim.NewInc(g.Clone(), q)
-			incT := timeRepair(inc, delta)
+			incT, aff := timeRepairAff(inc, delta)
 			incN := sim.NewIncUnit(g.Clone(), q)
 			incNT := stopwatch(func() { incN.Apply(delta) })
 			im := sim.NewIncMatch(g.Clone(), q)
 			imT := timeRepair(im, delta)
 			t.row(fmt.Sprintf("%g%%", p), batch, incT, incNT, imT)
+			cfg.report(Result{Experiment: "exp2-sim", Dataset: name, Algo: "IncSim",
+				Workload:     fmt.Sprintf("|ΔG|=%g%%", p),
+				BatchSeconds: batch, IncSeconds: incT, Affected: aff})
 		}
 		t.flush()
 	}
@@ -119,7 +128,7 @@ func Exp2LCC(cfg Config) {
 			updated.Apply(delta)
 			batch := stopwatch(func() { lcc.Run(updated) })
 			inc := lcc.NewInc(g.Clone())
-			incT := timeRepair(inc, delta)
+			incT, aff := timeRepairAff(inc, delta)
 			// The unit-at-a-time variant is orders of magnitude slower (it
 			// recomputes one-hop neighborhoods per unit update); measure it
 			// at the small sizes and extrapolate mentally beyond.
@@ -131,6 +140,9 @@ func Exp2LCC(cfg Config) {
 			dyn := lcc.NewDynLCC(g.Clone())
 			dynT := stopwatch(func() { dyn.Apply(delta) })
 			t.row(fmt.Sprintf("%g%%", p), batch, incT, incNCell, dynT)
+			cfg.report(Result{Experiment: "exp2-lcc", Dataset: name, Algo: "IncLCC",
+				Workload:     fmt.Sprintf("|ΔG|=%g%%", p),
+				BatchSeconds: batch, IncSeconds: incT, Affected: aff})
 		}
 		t.flush()
 	}
@@ -149,10 +161,13 @@ func Exp2DFS(cfg Config) {
 		updated.Apply(delta)
 		batch := stopwatch(func() { dfs.Run(updated) })
 		inc := dfs.NewInc(g.Clone())
-		incT := timeRepair(inc, delta)
+		incT, aff := timeRepairAff(inc, delta)
 		dyn := dfs.NewDynDFS(g.Clone())
 		dynT := stopwatch(func() { dyn.Apply(delta) })
 		t.row(fmt.Sprintf("%g%%", p), batch, incT, dynT)
+		cfg.report(Result{Experiment: "exp2-dfs", Dataset: "OKT", Algo: "IncDFS",
+			Workload:     fmt.Sprintf("|ΔG|=%g%%", p),
+			BatchSeconds: batch, IncSeconds: incT, Affected: aff})
 	}
 	t.flush()
 }
@@ -184,7 +199,7 @@ func Exp2Types(cfg Config) {
 
 		batchS := stopwatch(func() { sssp.Dijkstra(cur, 0) })
 		s0 := incS.Stats()
-		iS := timeRepair(incS, delta)
+		iS, affS := timeRepairAff(incS, delta)
 		s1 := incS.Stats()
 		iSN := stopwatch(func() { incSN.Apply(delta) })
 		dS := timeRepair(dynS, delta)
@@ -193,10 +208,13 @@ func Exp2Types(cfg Config) {
 			hfrac = pct((s1.HSeconds - s0.HSeconds) / dt)
 		}
 		rowsS = append(rowsS, []any{fmt.Sprintf("M%d", w), batchS, iS, iSN, dS, hfrac})
+		cfg.report(Result{Experiment: "exp2-types", Dataset: "WD", Algo: "IncSSSP",
+			Workload:     fmt.Sprintf("M%d", w),
+			BatchSeconds: batchS, IncSeconds: iS, Affected: affS})
 
 		batchC := stopwatch(func() { cc.CCfp(cur) })
 		c0 := incC.Stats()
-		iC := timeRepair(incC, delta)
+		iC, affC := timeRepairAff(incC, delta)
 		c1 := incC.Stats()
 		dC := stopwatch(func() { dynC.Apply(delta) })
 		hfrac = "-"
@@ -204,10 +222,13 @@ func Exp2Types(cfg Config) {
 			hfrac = pct((c1.HSeconds - c0.HSeconds) / dt)
 		}
 		rowsC = append(rowsC, []any{fmt.Sprintf("M%d", w), batchC, iC, dC, hfrac})
+		cfg.report(Result{Experiment: "exp2-types", Dataset: "WD", Algo: "IncCC",
+			Workload:     fmt.Sprintf("M%d", w),
+			BatchSeconds: batchC, IncSeconds: iC, Affected: affC})
 
 		batchM := stopwatch(func() { sim.Simfp(cur, q) })
 		m0 := incM.Stats()
-		iM := timeRepair(incM, delta)
+		iM, affM := timeRepairAff(incM, delta)
 		m1 := incM.Stats()
 		dM := timeRepair(im, delta)
 		hfrac = "-"
@@ -215,6 +236,9 @@ func Exp2Types(cfg Config) {
 			hfrac = pct((m1.HSeconds - m0.HSeconds) / dt)
 		}
 		rowsM = append(rowsM, []any{fmt.Sprintf("M%d", w), batchM, iM, dM, hfrac})
+		cfg.report(Result{Experiment: "exp2-types", Dataset: "WD", Algo: "IncSim",
+			Workload:     fmt.Sprintf("M%d", w),
+			BatchSeconds: batchM, IncSeconds: iM, Affected: affM})
 	}
 	render := func(title string, header []string, rows [][]any) {
 		t := newTable(cfg.Out, title, header...)

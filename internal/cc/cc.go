@@ -187,6 +187,10 @@ func (i *Inc) Labels() []int64 { return i.eng.State().Val }
 // Stats exposes the engine's inspection counters.
 func (i *Inc) Stats() fixpoint.Stats { return i.eng.State().Stats }
 
+// SetTracer installs the engine's span hook (see fixpoint.Tracer); it
+// must be called from the single writer goroutine that drives Apply.
+func (i *Inc) SetTracer(t fixpoint.Tracer) { i.eng.SetTracer(t) }
+
 // Apply computes G ⊕ ΔG and incrementally repairs the labels. It returns
 // |H⁰|.
 //

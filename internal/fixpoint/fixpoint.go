@@ -87,6 +87,33 @@ type Stats struct {
 // measure of the paper's boundedness analysis.
 func (s Stats) Inspected() int64 { return s.Reads + s.Updates + s.Pops + s.HPops }
 
+// Tracer observes the phases of one incremental run. It is the engine's
+// span hook: internal/trace implements it (structurally — the methods use
+// only builtin types, so neither package imports the other) to record
+// h-phase and resume spans plus per-round propagation events into a
+// flight recorder. A nil tracer costs nothing: the engine takes the
+// untraced code path and performs zero extra allocations (guarded by
+// TestNilTracerZeroAlloc).
+//
+// All methods are called from the goroutine driving the engine, in the
+// order BeginRun, ScopeDone, Round*, EndRun.
+type Tracer interface {
+	// BeginRun marks the start of IncrementalRunDelta with the sizes of
+	// the touched set and the push-seed set.
+	BeginRun(touched, pushSeeds int)
+	// ScopeDone marks the end of the initial scope function h with the
+	// run's h-counter deltas and |H⁰|.
+	ScopeDone(hPops, hResets, scopeSize int64)
+	// Round reports one completed propagation round of the resumed step
+	// function: the frontier size at round start, pops and value changes
+	// during the round, and the affected-area growth (variables newly
+	// scoped for the next round).
+	Round(round int, frontier, pops, changes, affGrowth int64)
+	// EndRun marks the end of the resumed step function with the resume
+	// phase's pop and change deltas.
+	EndRun(pops, changes int64)
+}
+
 // Sub returns the counter-wise difference s − o, isolating the cost of
 // the span between two snapshots of the same cumulative Stats (e.g. one
 // Apply call). ScopeSize is not cumulative — it is the |H⁰| of the last
@@ -157,6 +184,20 @@ type Engine[V any] struct {
 	policy  Policy
 	st      *State[V]
 	getFn   func(Var) V
+	// emitFn and visitFn are the step function's propagation closures,
+	// built once here: creating them per drain call would heap-allocate
+	// (they escape through the Instance interface), breaking the
+	// zero-allocation guarantee of small incremental runs.
+	emitFn  func(Var, V)
+	visitFn func(Var)
+	// hGetFn and hEnqFn are the scope function's closures, hoisted for
+	// the same reason; hx is the variable h is currently revising, a
+	// field so the closures can share it without a per-call heap cell.
+	hGetFn func(Var) V
+	hEnqFn func(Var)
+	hx     Var
+
+	tracer Tracer // optional span hook; nil ⇒ untraced path, zero cost
 
 	wl      worklist     // step-function scope
 	hq      *indexedHeap // h's queue, ordered by old timestamps
@@ -188,8 +229,40 @@ func New[V any](inst Instance[V], policy Policy) *Engine[V] {
 		return e.st.TS[a] < e.st.TS[b]
 	})
 	e.inScope = make([]int64, n)
+	e.emitFn = func(z Var, cand V) {
+		if e.install(z, cand) {
+			e.wl.AddOrAdjust(z)
+		}
+	}
+	e.visitFn = func(z Var) {
+		if e.recompute(z) {
+			e.wl.AddOrAdjust(z)
+		}
+	}
+	// h evaluates f_x on the feasible input set Ȳ_x: inputs determined
+	// after x in <_C are reset to their initial values (always feasible);
+	// earlier inputs keep their current — already revised, hence feasible
+	// — values. h defers its own timestamp writes until after the queue
+	// drains, so e.st.TS still carries the previous run's order while
+	// these closures read it.
+	e.hGetFn = func(y Var) V {
+		e.st.Stats.Reads++
+		if e.st.TS[e.hx] < e.st.TS[y] {
+			return e.inst.Bottom(y)
+		}
+		return e.st.Val[y]
+	}
+	e.hEnqFn = func(z Var) {
+		if e.st.TS[e.hx] < e.st.TS[z] { // hx may be in C_z
+			e.hq.AddOrAdjust(z)
+		}
+	}
 	return e
 }
+
+// SetTracer installs (or, with nil, removes) the span hook observing
+// incremental runs. Call it from the goroutine that drives the engine.
+func (e *Engine[V]) SetTracer(t Tracer) { e.tracer = t }
 
 // State exposes the engine's status for inspection and for handing the
 // fixpoint D^r to a later incremental run.
@@ -259,23 +332,13 @@ func (e *Engine[V]) Run() {
 // whose value changed.
 func (e *Engine[V]) drain() {
 	if e.relaxer != nil {
-		emit := func(z Var, cand V) {
-			if e.install(z, cand) {
-				e.wl.AddOrAdjust(z)
-			}
-		}
 		for {
 			x, ok := e.wl.Pop()
 			if !ok {
 				return
 			}
 			e.st.Stats.Pops++
-			e.relaxer.RelaxOut(x, e.st.Val[x], emit)
-		}
-	}
-	visit := func(z Var) {
-		if e.recompute(z) {
-			e.wl.AddOrAdjust(z)
+			e.relaxer.RelaxOut(x, e.st.Val[x], e.emitFn)
 		}
 	}
 	for {
@@ -284,7 +347,37 @@ func (e *Engine[V]) drain() {
 			return
 		}
 		e.st.Stats.Pops++
-		e.inst.Dependents(x, visit)
+		e.inst.Dependents(x, e.visitFn)
+	}
+}
+
+// drainRounds is drain with per-round observation for the tracer: the
+// variables in the scope when a round begins form its frontier; whatever
+// their propagation adds to the scope is processed in the next round
+// (BFS-level structure). After each round the tracer receives the
+// frontier size, the pops and value changes of the round, and the
+// affected-area growth — the size of the next frontier. Used only when a
+// tracer is installed, keeping the nil path on the tight loop above.
+func (e *Engine[V]) drainRounds() {
+	round := 0
+	for e.wl.Len() > 0 {
+		frontier := e.wl.Len()
+		round++
+		pops0, changes0 := e.st.Stats.Pops, e.st.Stats.Changes
+		for n := 0; n < frontier; n++ {
+			x, ok := e.wl.Pop()
+			if !ok {
+				break
+			}
+			e.st.Stats.Pops++
+			if e.relaxer != nil {
+				e.relaxer.RelaxOut(x, e.st.Val[x], e.emitFn)
+			} else {
+				e.inst.Dependents(x, e.visitFn)
+			}
+		}
+		e.tracer.Round(round, int64(frontier),
+			e.st.Stats.Pops-pops0, e.st.Stats.Changes-changes0, int64(e.wl.Len()))
 	}
 }
 
@@ -338,9 +431,19 @@ func (e *Engine[V]) IncrementalRun(touched []Var) []Var {
 // function.
 func (e *Engine[V]) IncrementalRunDelta(touched []Touched, pushSeeds []Var) []Var {
 	start := time.Now()
+	var before Stats
+	if e.tracer != nil {
+		before = e.st.Stats
+		e.tracer.BeginRun(len(touched), len(pushSeeds))
+	}
 	h0 := e.scopeFunction(touched)
 	mid := time.Now()
 	e.st.Stats.ScopeSize = int64(len(h0))
+	if e.tracer != nil {
+		d := e.st.Stats
+		e.tracer.ScopeDone(d.HPops-before.HPops, d.HResets-before.HResets, int64(len(h0)))
+	}
+	resume0 := e.st.Stats
 	for _, x := range h0 {
 		e.recompute(x)
 		e.wl.AddOrAdjust(x)
@@ -348,7 +451,13 @@ func (e *Engine[V]) IncrementalRunDelta(touched []Touched, pushSeeds []Var) []Va
 	for _, x := range pushSeeds {
 		e.wl.AddOrAdjust(x)
 	}
-	e.drain()
+	if e.tracer != nil {
+		e.drainRounds()
+		d := e.st.Stats
+		e.tracer.EndRun(d.Pops-resume0.Pops, d.Changes-resume0.Changes)
+	} else {
+		e.drain()
+	}
 	e.st.Stats.HSeconds += mid.Sub(start).Seconds()
 	e.st.Stats.ResumeSeconds += time.Since(mid).Seconds()
 	return h0
@@ -362,7 +471,8 @@ func (e *Engine[V]) IncrementalRunDelta(touched []Touched, pushSeeds []Var) []Va
 // timestamps.
 func (e *Engine[V]) scopeFunction(touched []Touched) []Var {
 	st := e.st
-	oldTS := st.TS // frozen: h never stamps, so <_C is the previous run's
+	// st.TS is frozen while the queue drains — h defers its stamps to the
+	// loop below — so <_C read by hGetFn/hEnqFn is the previous run's.
 	que := e.hq
 	e.epoch++
 	h0 := make([]Var, 0, len(touched)*2)
@@ -378,23 +488,6 @@ func (e *Engine[V]) scopeFunction(touched []Touched) []Var {
 			que.AddOrAdjust(t.X)
 		}
 	}
-	// Evaluate f_x on the feasible input set Ȳ_x: inputs determined after
-	// x in <_C are reset to their initial values (which are always
-	// feasible); earlier inputs keep their current — already revised,
-	// hence feasible — values. hx carries the variable under revision.
-	var hx Var
-	feasibleGet := func(y Var) V {
-		st.Stats.Reads++
-		if oldTS[hx] < oldTS[y] {
-			return e.inst.Bottom(y)
-		}
-		return st.Val[y]
-	}
-	enqueue := func(z Var) {
-		if oldTS[hx] < oldTS[z] { // hx may be in C_z
-			que.AddOrAdjust(z)
-		}
-	}
 	var revised []Var
 	for {
 		x, ok := que.Pop()
@@ -402,9 +495,9 @@ func (e *Engine[V]) scopeFunction(touched []Touched) []Var {
 			break
 		}
 		st.Stats.HPops++
-		hx = x
+		e.hx = x
 		st.Stats.Updates++
-		newv := e.inst.Update(x, feasibleGet)
+		newv := e.inst.Update(x, e.hGetFn)
 		if e.inst.Less(st.Val[x], newv) {
 			// x's old value is potentially infeasible for G ⊕ ΔG: revise
 			// it and inspect the variables it contributed to.
@@ -412,7 +505,7 @@ func (e *Engine[V]) scopeFunction(touched []Touched) []Var {
 			st.Stats.HResets++
 			addH0(x)
 			revised = append(revised, x)
-			e.inst.Dependents(x, enqueue)
+			e.inst.Dependents(x, e.hEnqFn)
 		}
 	}
 	// Stamp the revised variables now, in revision order: their values

@@ -51,6 +51,7 @@ func (s *ssspServeable) Apply(b graph.Batch) ApplyResult {
 func (s *ssspServeable) Snapshot() any {
 	return SSSPView{Src: s.src, Dist: append([]int64(nil), s.inc.Dist()...)}
 }
+func (s *ssspServeable) SetTracer(t fixpoint.Tracer) { s.inc.SetTracer(t) }
 
 // statser is the slice of the maintainer API the stats plumbing needs.
 type statser interface{ Stats() fixpoint.Stats }
@@ -83,6 +84,7 @@ func (s *ccServeable) Apply(b graph.Batch) ApplyResult {
 func (s *ccServeable) Snapshot() any {
 	return CCView{Labels: append([]int64(nil), s.inc.Labels()...)}
 }
+func (s *ccServeable) SetTracer(t fixpoint.Tracer) { s.inc.SetTracer(t) }
 
 // SimView is the published snapshot of a graph-simulation maintainer.
 type SimView struct {
@@ -100,8 +102,9 @@ type simServeable struct{ inc *sim.Inc }
 // Sim adapts an IncSim maintainer.
 func Sim(inc *sim.Inc) Serveable { return &simServeable{inc: inc} }
 
-func (s *simServeable) Algo() string        { return "sim" }
-func (s *simServeable) Graph() *graph.Graph { return s.inc.Graph() }
+func (s *simServeable) Algo() string                { return "sim" }
+func (s *simServeable) Graph() *graph.Graph         { return s.inc.Graph() }
+func (s *simServeable) SetTracer(t fixpoint.Tracer) { s.inc.SetTracer(t) }
 func (s *simServeable) Apply(b graph.Batch) ApplyResult {
 	return statsDelta(s.inc, func() int { return s.inc.Apply(b) })
 }

@@ -10,6 +10,7 @@ import (
 
 	"incgraph/internal/graph"
 	"incgraph/internal/obs"
+	"incgraph/internal/trace"
 )
 
 // Service is a set of named hosts behind one HTTP API:
@@ -19,17 +20,31 @@ import (
 //	GET  /stats                          per-host serving counters, JSON
 //	GET  /metrics                        Prometheus text exposition
 //	GET  /debug/applies[?algo=<name>]    recent apply trace events, JSON
+//	GET  /debug/trace                    flight recording, Chrome trace_event JSON
 //	GET  /healthz                        liveness
 //
 // An update with no algo parameter is broadcast to every host: each
 // maintainer owns a private copy of the graph, so the same ΔG must reach
 // all of them to keep their answers describing the same logical graph.
+//
+// POST /update participates in W3C trace context: an incoming
+// traceparent header's trace ID is propagated through the submission
+// queue onto the apply that incorporates the batch (spans, apply trace,
+// logs), and the response carries a traceparent so callers can correlate.
+// Requests without the header get a fresh trace ID.
 type Service struct {
 	mu    sync.RWMutex
 	hosts map[string]*Host
 	reg   *obs.Registry
+	rec   *trace.Recorder
 	start time.Time
 }
+
+// traceCapacity is the service flight recorder's bounded size. At the
+// ~10 events one applied batch produces, 8192 events retain the most
+// recent several hundred applies across all hosts — enough to capture
+// "what just happened" after an incident, small enough to be always on.
+const traceCapacity = 8192
 
 // NewService returns an empty service with a fresh metric registry; every
 // host registered on it lands its metrics there, so one /metrics scrape
@@ -38,6 +53,7 @@ func NewService() *Service {
 	s := &Service{
 		hosts: make(map[string]*Host),
 		reg:   obs.NewRegistry(),
+		rec:   trace.NewRecorder(traceCapacity),
 		start: time.Now(),
 	}
 	s.reg.GaugeFunc("incgraph_uptime_seconds",
@@ -50,12 +66,20 @@ func NewService() *Service {
 // process-level metrics next to the per-host ones.
 func (s *Service) Registry() *obs.Registry { return s.reg }
 
+// Recorder returns the service's flight recorder — the bounded ring
+// behind GET /debug/trace that every host's spans land in.
+func (s *Service) Recorder() *trace.Recorder { return s.rec }
+
 // Host wraps m in a new Host and registers it under its Algo name. The
 // host's metrics land in the service registry unless opt.Registry
-// overrides it.
+// overrides it, and its spans in the service flight recorder unless
+// opt.Recorder overrides it.
 func (s *Service) Host(m Serveable, opt Options) (*Host, error) {
 	if opt.Registry == nil {
 		opt.Registry = s.reg
+	}
+	if opt.Recorder == nil {
+		opt.Recorder = s.rec
 	}
 	h := NewHost(m, opt)
 	s.mu.Lock()
@@ -108,6 +132,23 @@ type UpdateResult struct {
 	// Applied reports whether the request waited for application
 	// (wait=1) rather than returning on enqueue.
 	Applied bool `json:"applied"`
+	// TraceID is the request's W3C trace ID — from the caller's
+	// traceparent header, or freshly minted — the key for finding this
+	// update in the flight recording and access logs.
+	TraceID string `json:"trace_id"`
+}
+
+// requestTraceID resolves the trace ID of an HTTP request: the one the
+// access-log middleware already stored in the context, else a valid
+// incoming traceparent header, else a fresh ID.
+func requestTraceID(r *http.Request) trace.TraceID {
+	if tid, ok := trace.IDFromContext(r.Context()); ok {
+		return tid
+	}
+	if tid, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		return tid
+	}
+	return trace.NewTraceID()
 }
 
 // Handler returns the HTTP API handler.
@@ -133,6 +174,7 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, h.View())
 	})
 	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.Handle("GET /debug/trace", s.rec.Handler())
 	mux.HandleFunc("GET /debug/applies", func(w http.ResponseWriter, r *http.Request) {
 		hosts := s.Hosts()
 		if algo := r.URL.Query().Get("algo"); algo != "" {
@@ -182,16 +224,12 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tid := requestTraceID(r)
+	w.Header().Set("traceparent", trace.FormatTraceparent(tid, trace.NewSpanID()))
 	wait := r.URL.Query().Get("wait") != ""
-	res := UpdateResult{Accepted: len(b), Applied: wait}
+	res := UpdateResult{Accepted: len(b), Applied: wait, TraceID: tid.String()}
 	for _, h := range targets {
-		var err error
-		if wait {
-			err = h.SubmitWait(b)
-		} else {
-			err = h.Submit(b)
-		}
-		if err != nil {
+		if err := h.SubmitTraced(b, tid, wait); err != nil {
 			httpError(w, http.StatusServiceUnavailable, err)
 			return
 		}

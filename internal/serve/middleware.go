@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"incgraph/internal/trace"
+)
+
+// statusWriter records the status code a handler wrote, defaulting to
+// 200 when the handler never calls WriteHeader explicitly.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// AccessLog wraps next with request logging and trace-context
+// resolution: every request gets a trace ID (from a valid incoming
+// traceparent header, or freshly minted), stored in the request context
+// so downstream handlers — POST /update in particular — reuse the same
+// ID, and one slog line per request records method, path, status,
+// duration, and that trace ID. Enabled in incgraphd with -access-log.
+func AccessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tid, ok := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			tid = trace.NewTraceID()
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(trace.ContextWithID(r.Context(), tid)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		logger.Info("http",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration", time.Since(start).Round(time.Microsecond),
+			"trace", tid.String())
+	})
+}

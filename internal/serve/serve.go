@@ -28,6 +28,7 @@ import (
 	"incgraph/internal/fixpoint"
 	"incgraph/internal/graph"
 	"incgraph/internal/obs"
+	"incgraph/internal/trace"
 )
 
 // Serveable adapts an incremental maintainer to the service layer. The
@@ -97,6 +98,10 @@ type ApplyTrace struct {
 	Inspected int64 `json:"inspected"`
 	// UnixNanos timestamps the apply's completion.
 	UnixNanos int64 `json:"unix_nanos"`
+	// TraceID is the W3C trace ID of the first traced submission merged
+	// into this batch ("" when no submission carried one), correlating
+	// the apply with request logs and the flight recording.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // View is one published snapshot: the result of some applied prefix of
@@ -143,6 +148,13 @@ type Stats struct {
 	// MeanApplyNanos is TotalApplyNanos/BatchesApplied, precomputed so
 	// clients don't have to divide raw totals.
 	MeanApplyNanos int64 `json:"mean_apply_nanos"`
+	// Apply-latency quantiles, estimated from the host's log-bucketed
+	// histogram (≤6.25% relative error; see internal/obs). Zero until the
+	// first apply. Present so operators get percentiles from one GET
+	// /stats without running a Prometheus scrape pipeline.
+	ApplyP50Nanos int64 `json:"apply_p50_nanos"`
+	ApplyP95Nanos int64 `json:"apply_p95_nanos"`
+	ApplyP99Nanos int64 `json:"apply_p99_nanos"`
 	// UptimeSeconds is the time since the host started serving.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Fixpoint aggregates the maintainer's per-apply cost-counter deltas
@@ -169,6 +181,13 @@ type Options struct {
 	// Trace is the capacity of the recent-applies ring buffer behind
 	// GET /debug/applies. Default 128.
 	Trace int
+	// Recorder receives span/flight-recorder events: one root span per
+	// applied batch (queue wait → coalesce → apply → publish) and, for
+	// maintainers exposing the fixpoint tracer hook, h-phase/resume spans
+	// with per-round propagation events. A Service passes its own
+	// recorder so GET /debug/trace covers every host; nil disables
+	// tracing for standalone hosts (zero overhead).
+	Recorder *trace.Recorder
 	// OnApply, when set, is invoked synchronously from the apply loop
 	// after each published batch — the hook structured logging hangs off.
 	// It must be fast and must not call back into the Host.
@@ -200,8 +219,14 @@ var ErrClosed = errors.New("serve: host closed")
 type submission struct {
 	b   graph.Batch
 	ack chan struct{}
-	at  time.Time // enqueue time, for the queue-wait histogram
+	at  time.Time     // enqueue time, for the queue-wait histogram
+	tid trace.TraceID // request trace ID, propagated into the apply's spans
 }
+
+// tracerSetter is the optional Serveable extension the tracing layer
+// hooks into: maintainers built on (or mirroring) the fixpoint engine
+// accept a span hook, driven from the host's apply loop.
+type tracerSetter interface{ SetTracer(fixpoint.Tracer) }
 
 // hostMetrics are a host's registry handles, resolved once at
 // construction so the apply loop only touches lock-free atomics.
@@ -277,6 +302,13 @@ type Host struct {
 	met    hostMetrics
 	traces *obs.Ring[ApplyTrace]
 
+	// rec/track/engTracer are the span-tracing handles; all nil/zero when
+	// no recorder is configured. engTracer is driven only from the apply
+	// loop, matching the engine's single-writer contract.
+	rec       *trace.Recorder
+	track     int32
+	engTracer *trace.EngineTracer
+
 	// submitMu serializes Submit against Close: Submit sends on in under
 	// the read side, Close flips closed under the write side, so no send
 	// can race past a completed Close and be silently dropped.
@@ -307,6 +339,16 @@ func NewHost(m Serveable, opt Options) *Host {
 	h.start = time.Now()
 	h.met = newHostMetrics(h.opt.Registry, h.algo)
 	h.traces = obs.NewRing[ApplyTrace](h.opt.Trace)
+	if h.opt.Recorder != nil {
+		h.rec = h.opt.Recorder
+		h.track = h.rec.Track(h.algo)
+		if ts, ok := m.(tracerSetter); ok {
+			// Engine phases render on the same track as the host's batch
+			// spans, so h/resume nest inside each apply.
+			h.engTracer = trace.NewEngineTracerOnTrack(h.rec, h.track)
+			ts.SetTracer(h.engTracer)
+		}
+	}
 	h.opt.Registry.GaugeFunc("incgraph_queue_depth",
 		"Received-but-not-yet-applied unit updates.",
 		func() float64 { return float64(h.Stats().QueueDepth) },
@@ -348,6 +390,13 @@ func (h *Host) Stats() Stats {
 	if s.BatchesApplied > 0 {
 		s.MeanApplyNanos = s.TotalApplyNanos / int64(s.BatchesApplied)
 	}
+	if hist := h.met.applyLatency; hist.Count() > 0 {
+		// Quantiles come from the same histogram /metrics exposes; the
+		// zero-sample guard keeps NaN out of the JSON encoder.
+		s.ApplyP50Nanos = int64(hist.Quantile(0.5) * 1e9)
+		s.ApplyP95Nanos = int64(hist.Quantile(0.95) * 1e9)
+		s.ApplyP99Nanos = int64(hist.Quantile(0.99) * 1e9)
+	}
 	s.UptimeSeconds = time.Since(h.start).Seconds()
 	return s
 }
@@ -356,14 +405,14 @@ func (h *Host) Stats() Stats {
 // the batch is accepted (not yet applied). It blocks when the queue is
 // full — backpressure, not loss.
 func (h *Host) Submit(b graph.Batch) error {
-	_, err := h.submit(b, false)
+	_, err := h.submit(b, trace.TraceID{}, false)
 	return err
 }
 
 // SubmitWait is Submit, but also waits until the batch has been applied
 // and its view published.
 func (h *Host) SubmitWait(b graph.Batch) error {
-	ack, err := h.submit(b, true)
+	ack, err := h.submit(b, trace.TraceID{}, true)
 	if err != nil {
 		return err
 	}
@@ -371,7 +420,22 @@ func (h *Host) SubmitWait(b graph.Batch) error {
 	return nil
 }
 
-func (h *Host) submit(b graph.Batch, wait bool) (chan struct{}, error) {
+// SubmitTraced is Submit/SubmitWait with a request trace ID: the ID is
+// carried through the queue into the apply that incorporates the batch,
+// stamped on its spans, its ApplyTrace entry, and the OnApply hook —
+// the handle for following one request through the flight recording.
+func (h *Host) SubmitTraced(b graph.Batch, tid trace.TraceID, wait bool) error {
+	ack, err := h.submit(b, tid, wait)
+	if err != nil {
+		return err
+	}
+	if wait {
+		<-ack
+	}
+	return nil
+}
+
+func (h *Host) submit(b graph.Batch, tid trace.TraceID, wait bool) (chan struct{}, error) {
 	if err := b.Validate(h.n); err != nil {
 		return nil, err
 	}
@@ -390,7 +454,7 @@ func (h *Host) submit(b graph.Batch, wait bool) (chan struct{}, error) {
 	h.stats.UpdatesReceived += uint64(len(owned))
 	h.statMu.Unlock()
 	h.met.updatesReceived.Add(float64(len(owned)))
-	h.in <- submission{b: owned, ack: ack, at: time.Now()}
+	h.in <- submission{b: owned, ack: ack, at: time.Now(), tid: tid}
 	return ack, nil
 }
 
@@ -415,7 +479,8 @@ func (h *Host) loop() {
 	var (
 		pending graph.Batch
 		acks    []chan struct{}
-		oldest  time.Time // enqueue time of pending's first submission
+		oldest  time.Time     // enqueue time of pending's first submission
+		pendTID trace.TraceID // first traced submission merged into pending
 		timer   *time.Timer
 		timerC  <-chan time.Time
 	)
@@ -425,8 +490,9 @@ func (h *Host) loop() {
 			timer, timerC = nil, nil
 		}
 		if len(pending) > 0 {
-			h.apply(pending, oldest)
+			h.apply(pending, oldest, pendTID)
 			pending = nil
+			pendTID = trace.TraceID{}
 		}
 		for _, a := range acks {
 			close(a)
@@ -438,6 +504,9 @@ func (h *Host) loop() {
 			oldest = s.at
 		}
 		pending = append(pending, s.b...)
+		if pendTID.IsZero() {
+			pendTID = s.tid
+		}
 		if s.ack != nil {
 			acks = append(acks, s.ack)
 		}
@@ -476,13 +545,44 @@ func (h *Host) loop() {
 
 // apply coalesces one accumulated batch, feeds it to the maintainer,
 // publishes the new view, and records the apply in counters, histograms,
-// gauges, and the trace ring. Called only from loop.
-func (h *Host) apply(raw graph.Batch, oldest time.Time) {
+// gauges, the trace ring, and (when a recorder is configured) the flight
+// recording: a root "batch" span containing "coalesce", "apply" — inside
+// which the maintainer's own h/resume spans nest — and "publish", plus a
+// "queue_wait" span covering the time the oldest merged submission sat
+// queued. Called only from loop.
+func (h *Host) apply(raw graph.Batch, oldest time.Time, tid trace.TraceID) {
+	var root, sub trace.Span
+	if h.rec != nil {
+		qw := trace.Event{
+			Name: "queue_wait", Cat: "serve", Phase: trace.PhaseComplete,
+			Track: h.track, TS: h.rec.At(oldest), Dur: h.rec.Now() - h.rec.At(oldest),
+			Trace: tid,
+		}
+		h.rec.Emit(qw)
+		root = h.rec.Begin("batch", "serve", h.track)
+		root.SetTrace(tid)
+		if h.engTracer != nil {
+			h.engTracer.SetTraceID(tid)
+		}
+		sub = h.rec.Begin("coalesce", "serve", h.track)
+	}
 	net := raw.Net(h.dir)
+	if h.rec != nil {
+		sub.Arg("raw", int64(len(raw)))
+		sub.Arg("net", int64(len(net)))
+		sub.End()
+		sub = h.rec.Begin("apply", "serve", h.track)
+		sub.SetTrace(tid)
+	}
 	t0 := time.Now()
 	queueWait := t0.Sub(oldest).Nanoseconds()
 	res := h.m.Apply(net)
 	lat := time.Since(t0).Nanoseconds()
+	if h.rec != nil {
+		sub.Arg("affected", int64(res.Affected))
+		sub.End()
+		sub = h.rec.Begin("publish", "serve", h.track)
+	}
 	data := h.m.Snapshot()
 
 	h.statMu.Lock()
@@ -506,6 +606,17 @@ func (h *Host) apply(raw graph.Batch, oldest time.Time) {
 	h.viewMu.Lock()
 	h.view = v
 	h.viewMu.Unlock()
+
+	if h.rec != nil {
+		sub.Arg("epoch", int64(epoch))
+		sub.End()
+		root.Arg("raw", int64(len(raw)))
+		root.Arg("net", int64(len(net)))
+		root.Arg("affected", int64(res.Affected))
+		root.Arg("epoch", int64(epoch))
+		root.Arg("queue_wait_nanos", queueWait)
+		root.End()
+	}
 
 	m := &h.met
 	m.updatesApplied.Add(float64(len(raw)))
@@ -532,6 +643,9 @@ func (h *Host) apply(raw graph.Batch, oldest time.Time) {
 		QueueWaitNanos: queueWait,
 		ApplyNanos:     lat,
 		UnixNanos:      t0.UnixNano() + lat,
+	}
+	if !tid.IsZero() {
+		tr.TraceID = tid.String()
 	}
 	if res.HasStats {
 		m.hSecondsTotal.Add(res.Stats.HSeconds)

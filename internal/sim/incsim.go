@@ -29,6 +29,7 @@ type Inc struct {
 	inH0    []int64
 	epoch   int64
 	stats   fixpoint.Stats
+	tracer  fixpoint.Tracer
 	pending graph.Batch
 }
 
@@ -49,6 +50,14 @@ func (i *Inc) Relation() Relation { return i.relation() }
 
 // Stats exposes inspection counters and the h/resume time split.
 func (i *Inc) Stats() fixpoint.Stats { return i.stats }
+
+// SetTracer installs the span hook observing Repair's h and resume
+// phases (see fixpoint.Tracer). Inc is not engine-based, so it drives
+// the tracer itself: the touched size is the number of (node, pattern)
+// pairs whose input sets evolved, and rounds are not reported — the
+// resumed counter cascade is stack-driven, not level-structured. Call
+// from the single writer goroutine.
+func (i *Inc) SetTracer(t fixpoint.Tracer) { i.tracer = t }
 
 // Apply computes G ⊕ ΔG and incrementally maintains the relation: it
 // adjusts the counters for the structural changes, runs the initial scope
@@ -126,13 +135,25 @@ func (i *Inc) Repair() int {
 	if len(touched) == 0 {
 		return 0
 	}
+	st0 := i.stats
+	if i.tracer != nil {
+		i.tracer.BeginRun(len(touched), 0)
+	}
 	start := time.Now()
 	h0 := i.scopeFunction(touched, infeasible)
 	mid := time.Now()
+	if i.tracer != nil {
+		i.tracer.ScopeDone(i.stats.HPops-st0.HPops, i.stats.HResets-st0.HResets, int64(len(h0)))
+	}
 	i.resume(h0)
 	i.stats.ScopeSize = int64(len(h0))
 	i.stats.HSeconds += mid.Sub(start).Seconds()
 	i.stats.ResumeSeconds += time.Since(mid).Seconds()
+	if i.tracer != nil {
+		// The counter cascade does not count pops or changes; EndRun
+		// carries only the resume span's timing.
+		i.tracer.EndRun(0, 0)
+	}
 	return len(h0)
 }
 

@@ -45,6 +45,7 @@ type Inc struct {
 
 	pending graph.Batch
 	stats   fixpoint.Stats
+	tracer  fixpoint.Tracer
 }
 
 // NewInc runs Dijkstra and returns the incremental algorithm positioned
@@ -68,6 +69,13 @@ func (i *Inc) Dist() []int64 { return i.dist }
 
 // Stats exposes inspection counters and the h/resume time split.
 func (i *Inc) Stats() fixpoint.Stats { return i.stats }
+
+// SetTracer installs the span hook observing Repair's h and resume
+// phases (see fixpoint.Tracer). Inc is not engine-based, so it drives
+// the tracer itself: BeginRun carries the staged-update count as the
+// touched size, and rounds are not reported — Dijkstra's priority loop
+// has no BFS-level structure. Call from the single writer goroutine.
+func (i *Inc) SetTracer(t fixpoint.Tracer) { i.tracer = t }
 
 // Apply computes G ⊕ ΔG and incrementally repairs the distances,
 // returning |H⁰|.
@@ -106,6 +114,10 @@ func (i *Inc) Repair() int {
 		return 0
 	}
 	i.epoch++
+	st0 := i.stats
+	if i.tracer != nil {
+		i.tracer.BeginRun(len(applied), 0)
+	}
 	start := time.Now()
 
 	// Seed h with the heads of deleted tight edges (anchor candidates);
@@ -160,6 +172,9 @@ func (i *Inc) Repair() int {
 		}
 	}
 	mid := time.Now()
+	if i.tracer != nil {
+		i.tracer.ScopeDone(i.stats.HPops-st0.HPops, i.stats.HResets-st0.HResets, int64(h0))
+	}
 
 	// Resume the batch step function: recompute the revised nodes from
 	// actual values, relax the inserted edges against the (now feasible)
@@ -205,6 +220,11 @@ func (i *Inc) Repair() int {
 	i.stats.ScopeSize = int64(h0)
 	i.stats.HSeconds += mid.Sub(start).Seconds()
 	i.stats.ResumeSeconds += time.Since(mid).Seconds()
+	if i.tracer != nil {
+		// Inc does not count value changes in the resume phase; the pops
+		// delta carries the propagation cost.
+		i.tracer.EndRun(i.stats.Pops-st0.Pops, 0)
+	}
 	return h0
 }
 

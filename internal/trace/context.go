@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"strings"
+)
+
+// W3C trace-context (traceparent header) support, the subset the serving
+// layer needs: extract the trace ID of an incoming request and hand a
+// valid header back so callers can correlate their own telemetry with
+// the daemon's flight recording.
+
+// ParseTraceparent parses a W3C traceparent header value of the form
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// and returns its trace ID. It accepts any version byte except "ff"
+// (per spec, future versions must keep the field layout of version 00)
+// and rejects all-zero trace IDs.
+func ParseTraceparent(h string) (TraceID, bool) {
+	h = strings.TrimSpace(h)
+	// version(2) '-' traceid(32) '-' parentid(16) '-' flags(2)
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, false
+	}
+	ver := h[:2]
+	if ver == "ff" || !isHex(ver) || !isHex(h[36:52]) || !isHex(h[53:55]) {
+		return TraceID{}, false
+	}
+	if ver == "00" && len(h) != 55 {
+		return TraceID{}, false
+	}
+	var t TraceID
+	if _, err := hex.Decode(t[:], []byte(h[3:35])); err != nil {
+		return TraceID{}, false
+	}
+	if t.IsZero() {
+		return TraceID{}, false
+	}
+	return t, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header value with
+// the sampled flag set.
+func FormatTraceparent(t TraceID, parent SpanID) string {
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(t.String())
+	b.WriteByte('-')
+	b.WriteString(parent.String())
+	b.WriteString("-01")
+	return b.String()
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+type ctxKey struct{}
+
+// ContextWithID returns ctx carrying the trace ID, for handing a
+// request's identity down through handler layers.
+func ContextWithID(ctx context.Context, t TraceID) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// IDFromContext extracts a trace ID stored by ContextWithID.
+func IDFromContext(ctx context.Context) (TraceID, bool) {
+	t, ok := ctx.Value(ctxKey{}).(TraceID)
+	return t, ok && !t.IsZero()
+}

@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid := NewTraceID()
+	h := FormatTraceparent(tid, NewSpanID())
+	got, ok := ParseTraceparent(h)
+	if !ok || got != tid {
+		t.Fatalf("ParseTraceparent(FormatTraceparent(%s)) = %s, %v", tid, got, ok)
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	const valid = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{valid, true},
+		{"  " + valid + "  ", true}, // surrounding whitespace tolerated
+		{"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", true}, // future version, same layout
+		{"", false},
+		{"garbage", false},
+		{valid[:54], false}, // truncated
+		{"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},  // version ff forbidden
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", false},  // all-zero trace ID
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", false}, // version 00 is exactly 55 chars
+		{"00-zzf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", false},  // non-hex trace ID
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-zzf067aa0ba902b7-01", false},  // non-hex parent ID
+		{"004bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-011", false},  // missing separator
+	}
+	for _, c := range cases {
+		id, ok := ParseTraceparent(c.in)
+		if ok != c.ok {
+			t.Errorf("ParseTraceparent(%q) ok = %v, want %v", c.in, ok, c.ok)
+		}
+		if ok && id.IsZero() {
+			t.Errorf("ParseTraceparent(%q) accepted a zero ID", c.in)
+		}
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id.IsZero() || seen[id] {
+			t.Fatalf("duplicate or zero trace ID %s at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextCarry(t *testing.T) {
+	if _, ok := IDFromContext(context.Background()); ok {
+		t.Fatal("empty context reported a trace ID")
+	}
+	tid := NewTraceID()
+	ctx := ContextWithID(context.Background(), tid)
+	got, ok := IDFromContext(ctx)
+	if !ok || got != tid {
+		t.Fatalf("IDFromContext = %s, %v, want %s", got, ok, tid)
+	}
+	if _, ok := IDFromContext(ContextWithID(context.Background(), TraceID{})); ok {
+		t.Fatal("zero trace ID in context reported as present")
+	}
+}
+
+func TestRecorderBounded(t *testing.T) {
+	rec := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		rec.Emit(Event{Name: "e", Phase: PhaseInstant, TS: int64(i + 1)})
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(7 + i); ev.TS != want {
+			t.Errorf("event %d TS = %d, want %d (most recent retained, oldest first)", i, ev.TS, want)
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	rec := NewRecorder(8)
+	track := rec.Track("t")
+	sp := rec.Begin("work", "test", track)
+	sp.Arg("n", 42)
+	tid := NewTraceID()
+	sp.SetTrace(tid)
+	sp.End()
+
+	evs := rec.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Name != "work" || ev.Phase != PhaseComplete || ev.Track != track || ev.Trace != tid {
+		t.Fatalf("span event %+v", ev)
+	}
+	if ev.Dur < 0 {
+		t.Fatalf("negative duration %d", ev.Dur)
+	}
+	if ev.NArgs != 1 || ev.Args[0] != (Arg{Key: "n", Val: 42}) {
+		t.Fatalf("span args %v", ev.Args[:ev.NArgs])
+	}
+}
+
+func TestEventArgCapacity(t *testing.T) {
+	var ev Event
+	for i := 0; i < maxArgs+3; i++ {
+		ev.AddArg("k", int64(i))
+	}
+	if ev.NArgs != maxArgs {
+		t.Fatalf("NArgs = %d, want capped at %d", ev.NArgs, maxArgs)
+	}
+}
+
+func TestEngineTracerSpans(t *testing.T) {
+	// Drive the fixpoint.Tracer hooks by hand and check the emitted span
+	// structure: h and resume nested under inc_run, one instant per round.
+	rec := NewRecorder(64)
+	et := NewEngineTracer(rec, "cc/engine")
+	tid := NewTraceID()
+	et.SetTraceID(tid)
+
+	et.BeginRun(2, 1)
+	et.ScopeDone(5, 2, 3)
+	et.Round(1, 3, 3, 2, 2)
+	et.Round(2, 2, 2, 0, 0)
+	et.EndRun(5, 2)
+
+	evs := rec.Events()
+	names := make([]string, len(evs))
+	for i, ev := range evs {
+		names[i] = ev.Name
+		if ev.Trace != tid {
+			t.Errorf("event %s missing trace ID", ev.Name)
+		}
+	}
+	want := []string{"h", "round", "round", "resume", "inc_run"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("event names %v, want %v", names, want)
+	}
+	h, resume, root := evs[0], evs[3], evs[4]
+	if h.TS != root.TS {
+		t.Errorf("h starts at %d, inc_run at %d; want same start", h.TS, root.TS)
+	}
+	if resume.TS < h.TS+h.Dur {
+		t.Errorf("resume starts at %d, before h ends at %d", resume.TS, h.TS+h.Dur)
+	}
+	if end := root.TS + root.Dur; resume.TS+resume.Dur != end {
+		t.Errorf("resume ends at %d, inc_run at %d; want same end", resume.TS+resume.Dur, end)
+	}
+	argMap := func(ev Event) map[string]int64 {
+		m := map[string]int64{}
+		for i := 0; i < ev.NArgs; i++ {
+			m[ev.Args[i].Key] = ev.Args[i].Val
+		}
+		return m
+	}
+	if m := argMap(h); m["h_pops"] != 5 || m["h_resets"] != 2 || m["scope_size"] != 3 || m["touched"] != 2 {
+		t.Errorf("h args %v", m)
+	}
+	if m := argMap(resume); m["pops"] != 5 || m["changes"] != 2 || m["rounds"] != 2 {
+		t.Errorf("resume args %v", m)
+	}
+	if m := argMap(root); m["touched"] != 2 || m["push_seeds"] != 1 || m["scope_size"] != 3 || m["run"] != 1 {
+		t.Errorf("inc_run args %v", m)
+	}
+	if m := argMap(evs[1]); m["round"] != 1 || m["frontier"] != 3 || m["aff_growth"] != 2 {
+		t.Errorf("round 1 args %v", m)
+	}
+}
+
+// goldenRecorder builds the fixed recording behind the golden file:
+// hand-set timestamps, one track, one run's worth of spans.
+func goldenRecorder() *Recorder {
+	rec := NewRecorder(16)
+	track := rec.Track("cc")
+	tid, _ := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+
+	h := Event{Name: "h", Cat: "fixpoint", Phase: PhaseComplete, Track: track, TS: 1000, Dur: 500, Trace: tid}
+	h.AddArg("h_pops", 3)
+	h.AddArg("scope_size", 2)
+	rec.Emit(h)
+
+	round := Event{Name: "round", Cat: "fixpoint", Phase: PhaseInstant, Track: track, TS: 1600, Trace: tid}
+	round.AddArg("round", 1)
+	round.AddArg("frontier", 2)
+	rec.Emit(round)
+
+	resume := Event{Name: "resume", Cat: "fixpoint", Phase: PhaseComplete, Track: track, TS: 1500, Dur: 250, Trace: tid}
+	resume.AddArg("pops", 2)
+	rec.Emit(resume)
+
+	rec.Emit(Event{Name: "inc_run", Cat: "fixpoint", Phase: PhaseComplete, Track: track, TS: 1000, Dur: 750, Trace: tid})
+	return rec
+}
+
+func TestWriteTraceEventsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("output is not valid JSON")
+	}
+	const path = "testdata/golden.json"
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("trace_event output differs from %s (re-run with -update to rewrite):\n%s", path, got)
+	}
+}
+
+func TestWriteTraceEventsShape(t *testing.T) {
+	// Structural checks a viewer relies on, independent of the exact
+	// golden bytes: the decoded document has the trace_event envelope,
+	// metadata rows, sorted events, and microsecond conversion.
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	if doc.TraceEvents[0].Name != "process_name" || doc.TraceEvents[1].Name != "thread_name" {
+		t.Fatalf("missing metadata header rows")
+	}
+	rest := doc.TraceEvents[2:]
+	for i := 1; i < len(rest); i++ {
+		if rest[i].TS < rest[i-1].TS {
+			t.Errorf("events not sorted by ts: %v after %v", rest[i].TS, rest[i-1].TS)
+		}
+	}
+	for _, ev := range rest {
+		if ev.Name == "h" && ev.TS != 1.0 {
+			t.Errorf("h ts = %v µs, want 1.0 (1000ns)", ev.TS)
+		}
+		if ev.Args["traceparent_id"] != "4bf92f3577b34da6a3ce929d0e0e4736" {
+			t.Errorf("%s missing traceparent_id arg: %v", ev.Name, ev.Args)
+		}
+	}
+}
