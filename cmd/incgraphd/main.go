@@ -10,6 +10,7 @@
 //	incgraphd -graph g.txt -algos sim -pattern q.txt
 //	incgraphd -graph g.txt -algos cc -log-level debug -debug-addr :6060
 //	incgraphd -graph g.txt -algos cc -access-log
+//	incgraphd -graph g.txt -algos sssp,cc -data-dir /var/lib/incgraph
 //
 // API:
 //
@@ -38,6 +39,18 @@
 // single-writer apply loop; updates are validated, coalesced and batched
 // before one Apply call. On SIGINT/SIGTERM the daemon stops accepting
 // requests, drains every apply queue, and exits.
+//
+// With -data-dir set the daemon is durable: every accepted update batch
+// is write-ahead-logged (fsync policy per -fsync) before it is
+// acknowledged, and checkpoints of each maintainer's graph + incremental
+// state are taken every -checkpoint-every ingests and on SIGTERM
+// (checkpoint-on-drain). On startup the daemon recovers: it restores the
+// latest checkpoint, replays the WAL tail through the incremental Apply
+// path, and (unless -verify-recovery=false) verifies the replayed answers
+// against a batch recompute, repairing and counting any divergence. A
+// kill -9 at any moment therefore loses nothing acknowledged under
+// -fsync always, and restart reproduces exactly the from-scratch answers
+// over the durable prefix.
 package main
 
 import (
@@ -79,6 +92,12 @@ func main() {
 		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error (debug logs every apply)")
 		debugAddr = flag.String("debug-addr", "", "optional second listener for pprof and expvar (e.g. :6060)")
 		accessLog = flag.Bool("access-log", false, "log every HTTP request (method, path, status, duration, trace ID)")
+
+		dataDir       = flag.String("data-dir", "", "durability directory (WAL + checkpoints); empty runs in-memory only")
+		fsync         = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
+		fsyncInterval = flag.Duration("fsync-interval", 5*time.Millisecond, "fsync cadence under -fsync interval")
+		ckptEvery     = flag.Int("checkpoint-every", 1024, "checkpoint after this many ingested batches (0: only on shutdown)")
+		verifyRec     = flag.Bool("verify-recovery", true, "verify recovered answers against a batch recompute on startup")
 	)
 	flag.Parse()
 	logger, err := newLogger(*logLevel)
@@ -86,12 +105,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "incgraphd:", err)
 		os.Exit(2)
 	}
+	dur := durabilityConfig{
+		dataDir:       *dataDir,
+		fsync:         *fsync,
+		fsyncInterval: *fsyncInterval,
+		ckptEvery:     *ckptEvery,
+		verify:        *verifyRec,
+	}
 	if err := run(logger, *listen, *debugAddr, *graphPath, *algos, *pattern, *genKind,
 		incgraph.NodeID(*src), *genSeed, *genNodes, *genDeg, *genDirect, *accessLog,
-		incgraph.ServeOptions{MaxBatch: *maxBatch, MaxWait: *maxWait, Queue: *queue}); err != nil {
+		incgraph.ServeOptions{MaxBatch: *maxBatch, MaxWait: *maxWait, Queue: *queue}, dur); err != nil {
 		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
+}
+
+// durabilityConfig carries the -data-dir flag family into run.
+type durabilityConfig struct {
+	dataDir       string
+	fsync         string
+	fsyncInterval time.Duration
+	ckptEvery     int
+	verify        bool
 }
 
 // newLogger builds the process logger at the requested level, writing
@@ -105,7 +140,8 @@ func newLogger(level string) (*slog.Logger, error) {
 }
 
 func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, genKind string,
-	src incgraph.NodeID, seed int64, nodes, deg int, directed, accessLog bool, opt incgraph.ServeOptions) error {
+	src incgraph.NodeID, seed int64, nodes, deg int, directed, accessLog bool,
+	opt incgraph.ServeOptions, dur durabilityConfig) error {
 	if algos == "" {
 		return fmt.Errorf("missing -algos (e.g. -algos sssp,cc)")
 	}
@@ -141,25 +177,98 @@ func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, 
 			"trace", t.TraceID)
 	}
 
-	svc := incgraph.NewService()
+	var algoList []string
 	for _, algo := range strings.Split(algos, ",") {
-		algo = strings.TrimSpace(algo)
-		if algo == "" {
-			continue
+		if algo = strings.TrimSpace(algo); algo != "" {
+			algoList = append(algoList, algo)
 		}
+	}
+
+	svc := incgraph.NewService()
+
+	// With a data directory, recovery runs before any host starts: restore
+	// each maintainer from the latest checkpoint (falling back to a fresh
+	// batch run on the input graph), replay the WAL tail through the
+	// incremental Apply path, verify against batch recompute, and only
+	// then start the apply loops at the recovered stream position.
+	var rec *incgraph.Recovery
+	if dur.dataDir != "" {
+		var err error
+		if rec, err = incgraph.LoadRecovery(dur.dataDir); err != nil {
+			return fmt.Errorf("recovery: %w", err)
+		}
+	}
+	targets := make(map[string]incgraph.Serveable, len(algoList))
+	for _, algo := range algoList {
 		t0 := time.Now()
 		// Every maintainer owns a private clone: maintainers mutate
 		// their graph in Apply and are single-writer objects.
-		m, err := buildServeable(algo, base.Clone(), src, pat)
+		g := base.Clone()
+		restored := false
+		if rec != nil {
+			if ra, ok := rec.Algos[algo]; ok {
+				g, restored = ra.Graph, true
+			}
+		}
+		m, err := buildServeable(algo, g, src, pat)
 		if err != nil {
 			svc.Close()
 			return err
 		}
-		if _, err := svc.Host(m, opt); err != nil {
+		if rec != nil {
+			if err := rec.Restore(algo, m); err != nil {
+				svc.Close()
+				return fmt.Errorf("recovery: restore %s: %w", algo, err)
+			}
+		}
+		targets[algo] = m
+		logger.Info("hosted", "host", algo, "batch_init", time.Since(t0).Round(time.Microsecond),
+			"from_checkpoint", restored)
+	}
+	var d *incgraph.Durable
+	if rec != nil {
+		replayed, err := rec.Replay(targets, svc.Recorder())
+		if err != nil {
+			return fmt.Errorf("recovery: replay: %w", err)
+		}
+		var divergent []string
+		if dur.verify {
+			divergent = incgraph.VerifyRecovered(targets, svc.Recorder())
+			if len(divergent) > 0 {
+				logger.Warn("recovery: replayed state diverged from batch recompute; repaired",
+					"algos", strings.Join(divergent, ","))
+			}
+		}
+		logger.Info("recovered", "dir", dur.dataDir,
+			"checkpoint_epoch", rec.CheckpointEpoch, "replayed_records", replayed,
+			"divergent", len(divergent))
+		policy, err := incgraph.ParseSyncPolicy(dur.fsync)
+		if err != nil {
+			return err
+		}
+		for _, algo := range algoList {
+			o := opt
+			o.BaseEpoch, o.BaseBatches = rec.Base(algo)
+			if _, err := svc.Host(targets[algo], o); err != nil {
+				svc.Close()
+				return err
+			}
+		}
+		if d, err = incgraph.OpenDurable(svc, dur.dataDir, incgraph.DurableOptions{
+			WAL:             incgraph.WALOptions{Policy: policy, Interval: dur.fsyncInterval},
+			CheckpointEvery: dur.ckptEvery,
+		}); err != nil {
 			svc.Close()
 			return err
 		}
-		logger.Info("hosted", "host", algo, "batch_init", time.Since(t0).Round(time.Microsecond))
+		d.RecordRecovery(replayed, len(divergent))
+	} else {
+		for _, algo := range algoList {
+			if _, err := svc.Host(targets[algo], opt); err != nil {
+				svc.Close()
+				return err
+			}
+		}
 	}
 
 	if debugAddr != "" {
@@ -192,19 +301,37 @@ func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, 
 	select {
 	case err := <-errc:
 		svc.Close()
+		if d != nil {
+			d.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop taking requests first, then drain every
-	// apply queue so accepted updates are not lost.
+	// Graceful shutdown: stop taking requests first, then checkpoint at
+	// the drained cut (the checkpoint job queues behind every accepted
+	// submission, so it covers exactly what was acknowledged), then drain
+	// and stop the apply loops.
 	logger.Info("shutting down: draining apply queues")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		logger.Warn("http shutdown", "err", err)
 	}
+	if d != nil {
+		t0 := time.Now()
+		if err := d.Checkpoint(); err != nil {
+			logger.Warn("checkpoint on drain", "err", err)
+		} else {
+			logger.Info("checkpoint on drain", "took", time.Since(t0).Round(time.Microsecond))
+		}
+	}
 	svc.Close()
+	if d != nil {
+		if err := d.Close(); err != nil {
+			logger.Warn("wal close", "err", err)
+		}
+	}
 	for _, h := range svc.Hosts() {
 		st := h.Stats()
 		logger.Info("drained",

@@ -40,6 +40,7 @@ import (
 	"incgraph/internal/sim"
 	"incgraph/internal/sssp"
 	"incgraph/internal/trace"
+	"incgraph/internal/wal"
 )
 
 // Graph construction and update vocabulary, re-exported from the graph
@@ -212,6 +213,64 @@ type (
 	// (*Service).Recorder exposes the service's own.
 	TraceRecorder = trace.Recorder
 )
+
+// Durability layer, re-exported from internal/serve and internal/wal:
+// write-ahead logging of every ingested batch, periodic checkpoints of
+// graph + incremental state at consistent cuts, and crash recovery
+// (checkpoint restore + WAL-tail replay, verified against batch
+// recompute). See cmd/incgraphd's -data-dir.
+type (
+	// Durable owns a service's WAL and checkpoints; installed on a
+	// Service it write-ahead-logs every update before submission.
+	Durable = serve.Durable
+	// DurableOptions tune the durability layer (fsync policy, checkpoint
+	// cadence, retention).
+	DurableOptions = serve.DurableOptions
+	// Recovery is the loaded durable state of a data directory: restored
+	// per-algo checkpoints plus the WAL tail to replay.
+	Recovery = serve.Recovery
+	// RecoveredAlgo is one algo's checkpointed graph and state.
+	RecoveredAlgo = serve.RecoveredAlgo
+	// WALOptions configure the write-ahead log (segment size, fsync
+	// policy and interval, fault hooks).
+	WALOptions = wal.Options
+	// SyncPolicy selects when the WAL fsyncs (always/interval/never).
+	SyncPolicy = wal.SyncPolicy
+)
+
+// WAL fsync policies.
+const (
+	// SyncAlways fsyncs before every append acknowledges (group-committed
+	// across concurrent appenders) — full durability.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs on a timer: bounded data loss, higher throughput.
+	SyncInterval = wal.SyncInterval
+	// SyncNever leaves flushing to the OS.
+	SyncNever = wal.SyncNever
+)
+
+// ParseSyncPolicy parses "always", "interval" or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// LoadRecovery loads the durable state of a data directory: the latest
+// readable checkpoint plus the position the WAL tail replays from.
+// Returns an empty recovery (no error) for a fresh directory.
+func LoadRecovery(dir string) (*Recovery, error) { return serve.LoadRecovery(dir) }
+
+// VerifyRecovered checks every recovered maintainer against a batch
+// recompute on its recovered graph, repairing (and reporting) any that
+// diverged. The returned slice names the diverged algos.
+func VerifyRecovered(targets map[string]Serveable, rec *TraceRecorder) []string {
+	return serve.VerifyRecovered(targets, rec)
+}
+
+// OpenDurable opens (or creates) the WAL in dir and installs the durable
+// ingest path on svc. Run recovery (LoadRecovery / Replay /
+// VerifyRecovered) first: Open truncates the torn tail of the last
+// segment and appends after it.
+func OpenDurable(svc *Service, dir string, opt DurableOptions) (*Durable, error) {
+	return serve.OpenDurable(svc, dir, opt)
+}
 
 // NewService returns an empty serving layer; register maintainers with
 // (*Service).Host and serve (*Service).Handler.

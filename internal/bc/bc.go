@@ -14,6 +14,8 @@
 package bc
 
 import (
+	"fmt"
+
 	"incgraph/internal/graph"
 )
 
@@ -253,6 +255,32 @@ func (i *Inc) Graph() *graph.Graph { return i.g }
 
 // Result returns the maintained structure (aliased).
 func (i *Inc) Result() *Result { return i.res }
+
+// RestoreState overwrites the maintained structure with one exported
+// from a checkpoint of the same graph: the articulation flags and the
+// per-edge component ids. The component-id allocator is advanced past
+// every restored id so components re-derived after the restart can never
+// collide with restored ones. The inputs are copied.
+func (i *Inc) RestoreState(articulation []bool, edgeComp map[[2]graph.NodeID]int32) error {
+	n := i.g.NumNodes()
+	if len(articulation) != n {
+		return fmt.Errorf("bc: restore of %d articulation flags into graph with %d nodes", len(articulation), n)
+	}
+	res := &Result{
+		Articulation: append([]bool(nil), articulation...),
+		EdgeComp:     make(map[[2]graph.NodeID]int32, len(edgeComp)),
+	}
+	maxComp := i.st.comp
+	for k, c := range edgeComp {
+		res.EdgeComp[k] = c
+		if c >= maxComp {
+			maxComp = c + 1
+		}
+	}
+	i.res = res
+	i.st.comp = maxComp
+	return nil
+}
 
 // Apply computes G ⊕ ΔG and repairs the structure; it returns the number
 // of nodes revisited (the affected-area measure).

@@ -187,6 +187,22 @@ func (i *Inc) Labels() []int64 { return i.eng.State().Val }
 // Stats exposes the engine's inspection counters.
 func (i *Inc) Stats() fixpoint.Stats { return i.eng.State().Stats }
 
+// ExportState copies out the engine state a durability checkpoint
+// persists: labels, determination timestamps, and the logical clock. The
+// timestamps are IncCC's auxiliary structure — the order <_C the anchor
+// analysis reads — so restoring them preserves incremental behaviour
+// across a restart, not just the answers.
+func (i *Inc) ExportState() (labels, ts []int64, clock int64) {
+	st := i.eng.State()
+	return append([]int64(nil), st.Val...), append([]int64(nil), st.TS...), st.Clock()
+}
+
+// RestoreState installs state exported from a checkpoint of the same
+// graph.
+func (i *Inc) RestoreState(labels, ts []int64, clock int64) error {
+	return i.eng.Restore(labels, ts, clock)
+}
+
 // SetTracer installs the engine's span hook (see fixpoint.Tracer); it
 // must be called from the single writer goroutine that drives Apply.
 func (i *Inc) SetTracer(t fixpoint.Tracer) { i.eng.SetTracer(t) }

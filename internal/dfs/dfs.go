@@ -21,6 +21,7 @@
 package dfs
 
 import (
+	"fmt"
 	"sort"
 
 	"incgraph/internal/graph"
@@ -219,6 +220,24 @@ func (i *Inc) Graph() *graph.Graph { return i.g }
 
 // Tree returns the maintained DFS tree (aliased, do not mutate).
 func (i *Inc) Tree() *Tree { return i.tree }
+
+// RestoreState overwrites the maintained tree with one exported from a
+// checkpoint of the same graph. The interval variables are IncDFS's
+// complete incremental state: the parent anchors and the order <_C are
+// read off them directly. The slices are copied.
+func (i *Inc) RestoreState(first, last []int32, parent []graph.NodeID) error {
+	n := i.g.NumNodes()
+	if len(first) != n || len(last) != n || len(parent) != n {
+		return fmt.Errorf("dfs: restore of %d/%d/%d intervals into graph with %d nodes",
+			len(first), len(last), len(parent), n)
+	}
+	i.tree = &Tree{
+		First:  append([]int32(nil), first...),
+		Last:   append([]int32(nil), last...),
+		Parent: append([]graph.NodeID(nil), parent...),
+	}
+	return nil
+}
 
 // Apply computes G ⊕ ΔG and repairs the DFS tree by replaying the
 // traversal from the earliest affected anchor. It returns the number of

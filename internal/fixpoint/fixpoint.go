@@ -17,7 +17,10 @@
 // the same design with specialized code (as the paper does in §5).
 package fixpoint
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Var identifies a status variable in Ψ_A. Instances map graph nodes
 // (SSSP, CC) or node pairs (Sim) to dense Var ids.
@@ -267,6 +270,30 @@ func (e *Engine[V]) SetTracer(t Tracer) { e.tracer = t }
 // State exposes the engine's status for inspection and for handing the
 // fixpoint D^r to a later incremental run.
 func (e *Engine[V]) State() *State[V] { return e.st }
+
+// Clock returns the logical clock of the state — the timestamp of the
+// youngest determination. Together with Val and TS it is the complete
+// auxiliary state of the deduced incremental algorithm (weak
+// deducibility, §4), which is exactly what a durability checkpoint must
+// persist: the values are the answer, the timestamps are the order <_C
+// the next incremental run's anchor analysis reads.
+func (s *State[V]) Clock() int64 { return s.clock }
+
+// Restore overwrites the engine's status with a previously exported one:
+// per-variable values, their determination timestamps, and the logical
+// clock. The instance's variable universe must match (the engine's graph
+// must equal the one the state was exported from); the slices are copied.
+// Counters are not restored — they describe the old process's work.
+func (e *Engine[V]) Restore(vals []V, ts []int64, clock int64) error {
+	n := e.inst.NumVars()
+	if len(vals) != n || len(ts) != n {
+		return fmt.Errorf("fixpoint: restore of %d/%d variables into instance with %d", len(vals), len(ts), n)
+	}
+	copy(e.st.Val, vals)
+	copy(e.st.TS, ts)
+	e.st.clock = clock
+	return nil
+}
 
 // Grow extends the state with freshly bottomed variables after the
 // instance's NumVars grew (vertex insertions, §4). New variables carry

@@ -53,6 +53,12 @@ func FuzzReadBatch(f *testing.F) {
 	f.Add("+ 1 2 3\n- 4 5\n")
 	f.Add("# nothing\n")
 	f.Add("+ -1 -2 -3")
+	// Torn-write corpora: a valid multi-line batch cut mid-line at every
+	// offset, the shape a crash leaves behind in a text batch file.
+	whole := "+ 1 2 3\n- 4 5 6\n+ 100 200 -7\n- 8 9\n"
+	for cut := 0; cut < len(whole); cut++ {
+		f.Add(whole[:cut])
+	}
 	f.Fuzz(func(t *testing.T, in string) {
 		if len(in) > 1<<16 {
 			return
@@ -71,6 +77,45 @@ func FuzzReadBatch(f *testing.F) {
 		}
 		if len(b2) != len(b) {
 			t.Fatal("round trip changed the batch length")
+		}
+	})
+}
+
+// FuzzDecodeBatchBinary exercises the binary batch decoder used by the
+// WAL frame payloads: arbitrary bytes must never panic, and an accepted
+// batch must re-encode to a decodable equal batch.
+func FuzzDecodeBatchBinary(f *testing.F) {
+	seed := AppendBatchBinary(nil, Batch{
+		{Kind: InsertEdge, From: 1, To: 2, W: 3},
+		{Kind: DeleteEdge, From: 4, To: 5, W: -6},
+	})
+	f.Add(seed)
+	for cut := 0; cut < len(seed); cut++ {
+		f.Add(append([]byte(nil), seed[:cut]...))
+	}
+	for at := 0; at < len(seed); at++ {
+		mut := append([]byte(nil), seed...)
+		mut[at] ^= 0xff
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, rest, err := DecodeBatchBinary(data)
+		if err != nil {
+			return
+		}
+		_ = rest
+		enc := AppendBatchBinary(nil, b)
+		b2, rest2, err := DecodeBatchBinary(enc)
+		if err != nil || len(rest2) != 0 {
+			t.Fatalf("re-decode failed: %v (rest %d)", err, len(rest2))
+		}
+		if len(b2) != len(b) {
+			t.Fatal("round trip changed the batch length")
+		}
+		for i := range b {
+			if b[i] != b2[i] {
+				t.Fatalf("update %d changed: %+v vs %+v", i, b[i], b2[i])
+			}
 		}
 	})
 }

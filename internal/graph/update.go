@@ -51,27 +51,82 @@ func (b Batch) Inverse() Batch {
 	return inv
 }
 
-// Apply applies the batch to g in order, computing G ⊕ ΔG in place.
-// It returns the sub-batch of updates that actually changed the graph
-// (inserting a present edge or deleting an absent one is skipped), so the
-// caller can revert with the result's Inverse. Deletions in the returned
-// batch carry the weight of the edge that was removed.
-func (g *Graph) Apply(b Batch) Batch {
-	applied := make(Batch, 0, len(b))
+// ApplySummary reports what one batch application did to a graph: the
+// sub-batch that actually changed it plus a count of every update that
+// was skipped and why. Re-inserting a present edge and deleting an
+// absent one are idempotent no-ops — identically so for directed and
+// undirected graphs, where the mirrored half-edge representation used to
+// make the accounting easy to get subtly wrong — and malformed updates
+// (out-of-range ids, self-loops, dead endpoints, unknown kinds) are
+// counted and skipped instead of panicking, so arbitrary input reaching
+// batch application is safe.
+type ApplySummary struct {
+	// Applied is the sub-batch that changed the graph, in order; its
+	// Inverse reverts the application. Deletions carry the weight of the
+	// edge that was removed.
+	Applied Batch
+	// Inserted and Deleted count the applied updates by kind.
+	Inserted, Deleted int
+	// DupInserts counts insertions of already-present edges (for
+	// undirected graphs, in either orientation).
+	DupInserts int
+	// AbsentDeletes counts deletions of edges that do not exist.
+	AbsentDeletes int
+	// Malformed counts updates no graph state could apply: endpoints out
+	// of [0, NumNodes), self-loops, tombstoned endpoints, unknown kinds.
+	Malformed int
+}
+
+// Skipped returns the total number of updates that did not change the
+// graph.
+func (s ApplySummary) Skipped() int {
+	return s.DupInserts + s.AbsentDeletes + s.Malformed
+}
+
+// ApplyCounted applies the batch to g in order, computing G ⊕ ΔG in
+// place, and returns the full accounting. It never panics: every update
+// is classified before it touches the adjacency structures.
+func (g *Graph) ApplyCounted(b Batch) ApplySummary {
+	var s ApplySummary
+	s.Applied = make(Batch, 0, len(b))
+	n := NodeID(g.NumNodes())
 	for _, u := range b {
+		if u.From < 0 || u.From >= n || u.To < 0 || u.To >= n ||
+			u.From == u.To || !g.Alive(u.From) || !g.Alive(u.To) {
+			s.Malformed++
+			continue
+		}
 		switch u.Kind {
 		case InsertEdge:
 			if g.InsertEdge(u.From, u.To, u.W) {
-				applied = append(applied, u)
+				s.Applied = append(s.Applied, u)
+				s.Inserted++
+			} else {
+				s.DupInserts++
 			}
 		case DeleteEdge:
 			w := g.Weight(u.From, u.To)
 			if g.DeleteEdge(u.From, u.To) {
-				applied = append(applied, Update{Kind: DeleteEdge, From: u.From, To: u.To, W: w})
+				s.Applied = append(s.Applied, Update{Kind: DeleteEdge, From: u.From, To: u.To, W: w})
+				s.Deleted++
+			} else {
+				s.AbsentDeletes++
 			}
+		default:
+			s.Malformed++
 		}
 	}
-	return applied
+	return s
+}
+
+// Apply applies the batch to g in order, computing G ⊕ ΔG in place.
+// It returns the sub-batch of updates that actually changed the graph
+// (inserting a present edge or deleting an absent one is skipped), so the
+// caller can revert with the result's Inverse. Deletions in the returned
+// batch carry the weight of the edge that was removed. Callers that need
+// the skip accounting use ApplyCounted.
+func (g *Graph) Apply(b Batch) Batch {
+	return g.ApplyCounted(b).Applied
 }
 
 // Validate checks that the update is well-formed against a graph with n

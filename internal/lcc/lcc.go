@@ -10,6 +10,8 @@
 package lcc
 
 import (
+	"fmt"
+
 	"incgraph/internal/graph"
 )
 
@@ -141,6 +143,19 @@ func (i *Inc) Graph() *graph.Graph { return i.g }
 
 // Result returns the maintained status (aliased).
 func (i *Inc) Result() *Result { return i.r }
+
+// RestoreState overwrites the maintained status with one exported from a
+// checkpoint of the same graph. The d_v and λ_v variables are IncLCC's
+// complete state — it keeps no auxiliary structure (§5.3). The slices
+// are copied.
+func (i *Inc) RestoreState(deg []int32, tri []int64) error {
+	n := i.g.NumNodes()
+	if len(deg) != n || len(tri) != n {
+		return fmt.Errorf("lcc: restore of %d/%d variables into graph with %d nodes", len(deg), len(tri), n)
+	}
+	i.r = &Result{Deg: append([]int32(nil), deg...), Tri: append([]int64(nil), tri...)}
+	return nil
+}
 
 // Apply computes G ⊕ ΔG and recomputes the PE variables. It returns the
 // number of λ recomputations, the affected-area measure.

@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"encoding/gob"
+	"io"
+
 	"incgraph/internal/bc"
 	"incgraph/internal/cc"
 	"incgraph/internal/dfs"
@@ -23,6 +26,16 @@ import (
 // and reports the per-apply delta — the numbers Theorem 3 is about —
 // rather than discarding them. DFS, LCC, and BC repair with specialized
 // machinery and report only the affected-area measure.
+//
+// PersistState/RestoreState serialize the maintainer's incremental state
+// as a gob blob for durability checkpoints. What each class persists is
+// exactly what Theorem 1's weak deducibility says it must keep beyond
+// the answer itself: the engine-backed classes persist their timestamps
+// and clock (the anchor order <_C), sim its falsification timestamps,
+// dfs/lcc nothing beyond the interval/status variables, and bc the
+// component-id map. Recompute rebuilds the maintainer by re-running the
+// batch algorithm over the current graph — the self-healing and
+// recovery-verification path.
 
 // SSSPView is the published snapshot of an SSSP maintainer.
 type SSSPView struct {
@@ -52,6 +65,23 @@ func (s *ssspServeable) Snapshot() any {
 	return SSSPView{Src: s.src, Dist: append([]int64(nil), s.inc.Dist()...)}
 }
 func (s *ssspServeable) SetTracer(t fixpoint.Tracer) { s.inc.SetTracer(t) }
+
+// ssspState is the gob envelope of PersistState: the distances are
+// IncSSSP's complete incremental state (deducible; <_C is distance
+// order).
+type ssspState struct{ Dist []int64 }
+
+func (s *ssspServeable) PersistState(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(ssspState{Dist: s.inc.Dist()})
+}
+func (s *ssspServeable) RestoreState(r io.Reader) error {
+	var st ssspState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	return s.inc.RestoreState(st.Dist)
+}
+func (s *ssspServeable) Recompute() { s.inc = sssp.NewInc(s.inc.Graph(), s.src) }
 
 // statser is the slice of the maintainer API the stats plumbing needs.
 type statser interface{ Stats() fixpoint.Stats }
@@ -85,6 +115,27 @@ func (s *ccServeable) Snapshot() any {
 	return CCView{Labels: append([]int64(nil), s.inc.Labels()...)}
 }
 func (s *ccServeable) SetTracer(t fixpoint.Tracer) { s.inc.SetTracer(t) }
+
+// ccState is the gob envelope of PersistState: labels plus the engine's
+// timestamps and clock, which carry the anchor order <_C across a
+// restart.
+type ccState struct {
+	Labels, TS []int64
+	Clock      int64
+}
+
+func (s *ccServeable) PersistState(w io.Writer) error {
+	labels, ts, clock := s.inc.ExportState()
+	return gob.NewEncoder(w).Encode(ccState{Labels: labels, TS: ts, Clock: clock})
+}
+func (s *ccServeable) RestoreState(r io.Reader) error {
+	var st ccState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	return s.inc.RestoreState(st.Labels, st.TS, st.Clock)
+}
+func (s *ccServeable) Recompute() { s.inc = cc.NewInc(s.inc.Graph()) }
 
 // SimView is the published snapshot of a graph-simulation maintainer.
 type SimView struct {
@@ -123,6 +174,30 @@ func (s *simServeable) Snapshot() any {
 	return v
 }
 
+// simState is the gob envelope of PersistState: the match relation, the
+// support counters, and the falsification timestamps — IncSim's
+// auxiliary structure, which is what makes it only weakly deducible
+// (§5.1).
+type simState struct {
+	R     []bool
+	Cnt   []int32
+	TS    []int64
+	Clock int64
+}
+
+func (s *simServeable) PersistState(w io.Writer) error {
+	r, cnt, ts, clock := s.inc.ExportState()
+	return gob.NewEncoder(w).Encode(simState{R: r, Cnt: cnt, TS: ts, Clock: clock})
+}
+func (s *simServeable) RestoreState(r io.Reader) error {
+	var st simState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	return s.inc.RestoreState(st.R, st.Cnt, st.TS, st.Clock)
+}
+func (s *simServeable) Recompute() { s.inc = sim.NewInc(s.inc.Graph(), s.inc.Pattern()) }
+
 // DFSView is the published snapshot of a DFS maintainer: the canonical
 // forest as preorder/postorder intervals plus parent pointers.
 type DFSView struct {
@@ -149,6 +224,27 @@ func (s *dfsServeable) Snapshot() any {
 		Parent: append([]graph.NodeID(nil), t.Parent...),
 	}
 }
+
+// dfsState is the gob envelope of PersistState: the interval variables
+// are IncDFS's complete incremental state — anchors and <_C are read off
+// them directly (§5.2).
+type dfsState struct {
+	First, Last []int32
+	Parent      []graph.NodeID
+}
+
+func (s *dfsServeable) PersistState(w io.Writer) error {
+	t := s.inc.Tree()
+	return gob.NewEncoder(w).Encode(dfsState{First: t.First, Last: t.Last, Parent: t.Parent})
+}
+func (s *dfsServeable) RestoreState(r io.Reader) error {
+	var st dfsState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	return s.inc.RestoreState(st.First, st.Last, st.Parent)
+}
+func (s *dfsServeable) Recompute() { s.inc = dfs.NewInc(s.inc.Graph()) }
 
 // LCCView is the published snapshot of a local-clustering-coefficient
 // maintainer.
@@ -182,6 +278,26 @@ func (s *lccServeable) Snapshot() any {
 	return v
 }
 
+// lccState is the gob envelope of PersistState: d_v and λ_v are IncLCC's
+// complete state — it keeps no auxiliary structure (§5.3).
+type lccState struct {
+	Deg []int32
+	Tri []int64
+}
+
+func (s *lccServeable) PersistState(w io.Writer) error {
+	r := s.inc.Result()
+	return gob.NewEncoder(w).Encode(lccState{Deg: r.Deg, Tri: r.Tri})
+}
+func (s *lccServeable) RestoreState(r io.Reader) error {
+	var st lccState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	return s.inc.RestoreState(st.Deg, st.Tri)
+}
+func (s *lccServeable) Recompute() { s.inc = lcc.NewInc(s.inc.Graph()) }
+
 // BCView is the published snapshot of a biconnectivity maintainer.
 type BCView struct {
 	// Articulation[v] reports whether v is an articulation point.
@@ -207,3 +323,25 @@ func (s *bcServeable) Snapshot() any {
 		NumComps:     r.NumComps(),
 	}
 }
+
+// bcState is the gob envelope of PersistState: the articulation flags
+// and the edge partition. Component ids survive the round trip so
+// incremental repair after a restart keeps distinguishing restored
+// components from freshly derived ones.
+type bcState struct {
+	Articulation []bool
+	EdgeComp     map[[2]graph.NodeID]int32
+}
+
+func (s *bcServeable) PersistState(w io.Writer) error {
+	r := s.inc.Result()
+	return gob.NewEncoder(w).Encode(bcState{Articulation: r.Articulation, EdgeComp: r.EdgeComp})
+}
+func (s *bcServeable) RestoreState(r io.Reader) error {
+	var st bcState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return err
+	}
+	return s.inc.RestoreState(st.Articulation, st.EdgeComp)
+}
+func (s *bcServeable) Recompute() { s.inc = bc.NewInc(s.inc.Graph()) }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -38,6 +39,36 @@ type Service struct {
 	reg   *obs.Registry
 	rec   *trace.Recorder
 	start time.Time
+	shed  *obs.Counter
+
+	// journal, when installed (SetJournal), owns the durable ingest path:
+	// POST /update hands it the validated batch and targets, and it
+	// write-ahead-logs the batch before submitting — atomically with
+	// respect to checkpoint cuts.
+	journal Journal
+}
+
+// Journal is the durability hook of POST /update. An implementation
+// (serve.Durable) must make the batch durable and then submit it to every
+// target, such that no checkpoint cut can separate the two: a batch that
+// reached any maintainer is either in a checkpoint's state or in the WAL
+// tail a recovery replays.
+type Journal interface {
+	Ingest(targets []*Host, algo string, b graph.Batch, tid trace.TraceID, wait bool) error
+}
+
+// SetJournal installs the durable ingest path. Call before serving
+// traffic; j == nil reverts to direct (non-durable) submission.
+func (s *Service) SetJournal(j Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+func (s *Service) getJournal() Journal {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.journal
 }
 
 // traceCapacity is the service flight recorder's bounded size. At the
@@ -59,6 +90,8 @@ func NewService() *Service {
 	s.reg.GaugeFunc("incgraph_uptime_seconds",
 		"Seconds since the service was created.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	s.shed = s.reg.Counter("incgraph_shed_total",
+		"Updates rejected with 503 because a submission queue was saturated.")
 	return s
 }
 
@@ -185,9 +218,20 @@ func (s *Service) Handler() http.Handler {
 			}
 			hosts = []*Host{h}
 		}
+		// ?n= caps the entries returned per host; the response is bounded
+		// either way — by n, or by the hosts' ring capacities.
+		n, err := queryN(r, maxAppliesPerHost)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
 		applies := make(map[string][]ApplyTrace, len(hosts))
 		for _, h := range hosts {
-			applies[h.Algo()] = h.RecentApplies()
+			recent := h.RecentApplies()
+			if len(recent) > n {
+				recent = recent[len(recent)-n:]
+			}
+			applies[h.Algo()] = recent
 		}
 		writeJSON(w, http.StatusOK, applies)
 	})
@@ -224,18 +268,65 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Shed before any durability: a saturated queue means a blocking
+	// submit, and the 503 must mean "not accepted, not logged" — never
+	// "rejected but will replay after a restart". Advisory (the queue can
+	// fill between probe and submit, in which case the submit briefly
+	// blocks), but it keeps ingest overload from stalling every caller.
+	for _, h := range targets {
+		if h.Saturated() {
+			s.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("algo %s: submission queue saturated", h.Algo()))
+			return
+		}
+	}
 	tid := requestTraceID(r)
 	w.Header().Set("traceparent", trace.FormatTraceparent(tid, trace.NewSpanID()))
 	wait := r.URL.Query().Get("wait") != ""
 	res := UpdateResult{Accepted: len(b), Applied: wait, TraceID: tid.String()}
 	for _, h := range targets {
+		res.Targets = append(res.Targets, h.Algo())
+	}
+	if j := s.getJournal(); j != nil {
+		if err := j.Ingest(targets, r.URL.Query().Get("algo"), b, tid, wait); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	for _, h := range targets {
 		if err := h.SubmitTraced(b, tid, wait); err != nil {
 			httpError(w, http.StatusServiceUnavailable, err)
 			return
 		}
-		res.Targets = append(res.Targets, h.Algo())
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// maxAppliesPerHost caps GET /debug/applies entries per host even when
+// ?n= asks for more — the response stays bounded regardless of how large
+// the rings were configured.
+const maxAppliesPerHost = 4096
+
+// queryN parses the ?n= cap of a debug endpoint: absent means max,
+// anything non-numeric or negative is a client error, and the result is
+// clamped to max.
+func queryN(r *http.Request, max int) (int, error) {
+	raw := r.URL.Query().Get("n")
+	if raw == "" {
+		return max, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad n %q: want a non-negative integer", raw)
+	}
+	if n > max {
+		n = max
+	}
+	return n, nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -21,6 +21,8 @@ package serve
 
 import (
 	"errors"
+	"fmt"
+	"io"
 	"time"
 
 	"sync"
@@ -50,6 +52,20 @@ type Serveable interface {
 	// must remain valid — and must never be mutated by anyone — after
 	// further Apply calls, because readers retain it without locks.
 	Snapshot() any
+	// PersistState writes the maintainer's incremental state — the part a
+	// batch rerun cannot cheaply rebuild with the right anchor order
+	// (timestamps, intervals, component ids) — for a durability
+	// checkpoint. Called only from the apply-loop goroutine.
+	PersistState(w io.Writer) error
+	// RestoreState installs state previously written by PersistState
+	// against the same graph. Called during recovery, before the host's
+	// apply loop starts.
+	RestoreState(r io.Reader) error
+	// Recompute discards the maintained answer and re-runs the batch
+	// algorithm over the current graph — the self-healing path after a
+	// recovered panic, and the recovery-verification oracle. Called only
+	// from the apply-loop goroutine (or single-threaded recovery).
+	Recompute()
 }
 
 // ApplyResult is what a maintainer reports back from one Apply call: the
@@ -117,6 +133,10 @@ type View struct {
 	Epoch uint64 `json:"epoch"`
 	// Batches counts the coalesced Apply calls behind the view.
 	Batches uint64 `json:"batches"`
+	// Degraded marks a stale view republished after the maintainer
+	// panicked: the data is the last good answer, at an epoch behind the
+	// accepted stream. It clears once the host heals by batch recompute.
+	Degraded bool `json:"degraded,omitempty"`
 	// Data is the deep-copied, JSON-marshalable result (e.g. SSSPView).
 	Data any `json:"data"`
 }
@@ -155,6 +175,14 @@ type Stats struct {
 	ApplyP50Nanos int64 `json:"apply_p50_nanos"`
 	ApplyP95Nanos int64 `json:"apply_p95_nanos"`
 	ApplyP99Nanos int64 `json:"apply_p99_nanos"`
+	// Degraded reports whether the host is serving a stale snapshot after
+	// a maintainer panic (see View.Degraded); Panics and Heals count the
+	// recovered panics and the successful batch-recompute heals. A host
+	// whose heal itself panicked stays degraded permanently (quarantined)
+	// but keeps answering reads.
+	Degraded bool   `json:"degraded,omitempty"`
+	Panics   uint64 `json:"panics,omitempty"`
+	Heals    uint64 `json:"heals,omitempty"`
 	// UptimeSeconds is the time since the host started serving.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Fixpoint aggregates the maintainer's per-apply cost-counter deltas
@@ -192,6 +220,16 @@ type Options struct {
 	// after each published batch — the hook structured logging hangs off.
 	// It must be fast and must not call back into the Host.
 	OnApply func(ApplyTrace)
+	// BeforeApply, when set, runs in the apply loop just before each
+	// maintainer Apply — the fault-injection point internal/serve/faults
+	// drives (it may panic to exercise the isolation path). Production
+	// leaves it nil.
+	BeforeApply func(algo string, b graph.Batch)
+	// BaseEpoch and BaseBatches seed the host's epoch accounting, so a
+	// host recovered from a checkpoint + WAL replay resumes its counters
+	// instead of restarting the stream at zero.
+	BaseEpoch   uint64
+	BaseBatches uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -221,6 +259,11 @@ type submission struct {
 	ack chan struct{}
 	at  time.Time     // enqueue time, for the queue-wait histogram
 	tid trace.TraceID // request trace ID, propagated into the apply's spans
+	// fn, when non-nil, is a state job instead of a batch: the loop
+	// flushes everything pending, runs fn (with exclusive maintainer
+	// access), and closes ack. This is how checkpoints serialize state at
+	// a consistent cut without breaking the single-writer contract.
+	fn func()
 }
 
 // tracerSetter is the optional Serveable extension the tracing layer
@@ -248,6 +291,10 @@ type hostMetrics struct {
 	affRatio     *obs.Gauge
 	inspectedPer *obs.Gauge
 	scopeSize    *obs.Gauge
+
+	panics   *obs.Counter
+	heals    *obs.Counter
+	degraded *obs.Gauge
 }
 
 func newHostMetrics(r *obs.Registry, algo string) hostMetrics {
@@ -268,6 +315,9 @@ func newHostMetrics(r *obs.Registry, algo string) hostMetrics {
 		affRatio:        r.Gauge("incgraph_aff_per_delta_ratio", "Last apply's |AFF|/|ΔG| — the observed relative-boundedness ratio.", l),
 		inspectedPer:    r.Gauge("incgraph_inspected_per_update", "Last apply's fixpoint inspections per net update.", l),
 		scopeSize:       r.Gauge("incgraph_fixpoint_scope_size", "Last apply's initial scope size |H⁰|.", l),
+		panics:          r.Counter("incgraph_apply_panics_total", "Maintainer panics recovered by the apply loop.", l),
+		heals:           r.Counter("incgraph_heals_total", "Successful batch-recompute heals after a recovered panic.", l),
+		degraded:        r.Gauge("incgraph_degraded", "1 while the host serves a stale snapshot after a panic.", l),
 	}
 }
 
@@ -309,6 +359,12 @@ type Host struct {
 	track     int32
 	engTracer *trace.EngineTracer
 
+	// quarantined is set (apply loop only) when a heal recompute itself
+	// panicked: the maintainer is permanently sidelined, batches are
+	// drained and acknowledged without touching it, and reads keep being
+	// served from the last published (stale, degraded) view.
+	quarantined bool
+
 	// submitMu serializes Submit against Close: Submit sends on in under
 	// the read side, Close flips closed under the write side, so no send
 	// can race past a completed Close and be silently dropped.
@@ -334,8 +390,14 @@ func NewHost(m Serveable, opt Options) *Host {
 		done: make(chan struct{}),
 	}
 	h.in = make(chan submission, h.opt.Queue)
-	h.view = &View{Algo: h.algo, Data: m.Snapshot()}
+	h.view = &View{Algo: h.algo, Epoch: h.opt.BaseEpoch, Batches: h.opt.BaseBatches, Data: m.Snapshot()}
 	h.stats.Algo = h.algo
+	// A recovered host resumes its stream accounting where the durable
+	// prefix left off.
+	h.stats.Epoch = h.opt.BaseEpoch
+	h.stats.UpdatesReceived = h.opt.BaseEpoch
+	h.stats.UpdatesApplied = h.opt.BaseEpoch
+	h.stats.BatchesApplied = h.opt.BaseBatches
 	h.start = time.Now()
 	h.met = newHostMetrics(h.opt.Registry, h.algo)
 	h.traces = obs.NewRing[ApplyTrace](h.opt.Trace)
@@ -435,6 +497,41 @@ func (h *Host) SubmitTraced(b graph.Batch, tid trace.TraceID, wait bool) error {
 	return nil
 }
 
+// SubmitTracedAck enqueues like SubmitTraced and returns a channel that
+// closes once the batch's view is published, letting callers (the
+// durability layer) separate enqueueing from waiting.
+func (h *Host) SubmitTracedAck(b graph.Batch, tid trace.TraceID) (<-chan struct{}, error) {
+	return h.submit(b, tid, true)
+}
+
+// Saturated reports whether the submission queue is full: a Submit now
+// would block on backpressure. The serving layer probes it to shed load
+// with 503 instead of stalling ingest — advisory, since the queue may
+// drain (or fill) between the probe and the submit.
+func (h *Host) Saturated() bool {
+	return len(h.in) >= cap(h.in)
+}
+
+// WithState runs fn against the maintainer from inside the apply loop,
+// after every previously accepted submission has been applied — the
+// mechanism checkpoints use to serialize state at a consistent cut. It
+// blocks until fn returns (or the host is closed) and returns fn's
+// error.
+func (h *Host) WithState(fn func(m Serveable) error) error {
+	ack := make(chan struct{})
+	var err error
+	job := submission{at: time.Now(), ack: ack, fn: func() { err = fn(h.m) }}
+	h.submitMu.RLock()
+	if h.closed {
+		h.submitMu.RUnlock()
+		return ErrClosed
+	}
+	h.in <- job
+	h.submitMu.RUnlock()
+	<-ack
+	return err
+}
+
 func (h *Host) submit(b graph.Batch, tid trace.TraceID, wait bool) (chan struct{}, error) {
 	if err := b.Validate(h.n); err != nil {
 		return nil, err
@@ -500,6 +597,16 @@ func (h *Host) loop() {
 		acks = nil
 	}
 	add := func(s submission) {
+		if s.fn != nil {
+			// State job: flush so the maintainer reflects every earlier
+			// submission (channel order), then hand it the loop's turn.
+			flush()
+			s.fn()
+			if s.ack != nil {
+				close(s.ack)
+			}
+			return
+		}
 		if len(pending) == 0 {
 			oldest = s.at
 		}
@@ -517,7 +624,7 @@ func (h *Host) loop() {
 			add(s)
 			if len(pending) >= h.opt.MaxBatch {
 				flush()
-			} else if timer == nil {
+			} else if len(pending) > 0 && timer == nil {
 				timer = time.NewTimer(h.opt.MaxWait)
 				timerC = timer.C
 			}
@@ -576,14 +683,31 @@ func (h *Host) apply(raw graph.Batch, oldest time.Time, tid trace.TraceID) {
 	}
 	t0 := time.Now()
 	queueWait := t0.Sub(oldest).Nanoseconds()
-	res := h.m.Apply(net)
+	if h.quarantined {
+		if h.rec != nil {
+			sub.Arg("quarantined", 1)
+			sub.End()
+			root.End()
+		}
+		h.absorbPanic(raw, nil)
+		return
+	}
+	res, data, pval, ok := h.runMaintainer(net)
 	lat := time.Since(t0).Nanoseconds()
+	if !ok {
+		if h.rec != nil {
+			sub.Arg("panicked", 1)
+			sub.End()
+			root.End()
+		}
+		h.absorbPanic(raw, pval)
+		return
+	}
 	if h.rec != nil {
 		sub.Arg("affected", int64(res.Affected))
 		sub.End()
 		sub = h.rec.Begin("publish", "serve", h.track)
 	}
-	data := h.m.Snapshot()
 
 	h.statMu.Lock()
 	h.stats.BatchesApplied++
@@ -663,4 +787,141 @@ func (h *Host) apply(raw graph.Batch, oldest time.Time, tid trace.TraceID) {
 	if h.opt.OnApply != nil {
 		h.opt.OnApply(tr)
 	}
+}
+
+// runMaintainer is the only place the apply loop touches the maintainer
+// for a batch: the BeforeApply hook, Apply, and Snapshot, with a recover
+// fence so a buggy (or fault-injected) maintainer cannot take the host —
+// or the process — down. ok is false exactly when a panic was recovered,
+// with its value in pval.
+func (h *Host) runMaintainer(net graph.Batch) (res ApplyResult, data any, pval any, ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			pval = p
+			ok = false
+		}
+	}()
+	if h.opt.BeforeApply != nil {
+		h.opt.BeforeApply(h.algo, net)
+	}
+	res = h.m.Apply(net)
+	data = h.m.Snapshot()
+	return res, data, nil, true
+}
+
+// absorbPanic handles a recovered maintainer panic (pval non-nil), or a
+// batch arriving while the host is quarantined (pval nil). The raw
+// updates are counted as consumed — the maintainer's graph is in an
+// unknown state with respect to them, and queue accounting must not
+// wedge — the last good view is republished with the degraded flag so
+// readers get stale answers instead of 500s, and then the host heals by
+// batch recompute over the current graph. A panic during the heal itself
+// quarantines the host permanently: it keeps draining, acknowledging,
+// and serving the stale view, but never touches the maintainer again.
+// Called only from the apply loop.
+func (h *Host) absorbPanic(raw graph.Batch, pval any) {
+	panicked := pval != nil
+	if panicked {
+		h.met.panics.Inc()
+		if h.rec != nil {
+			ev := trace.Event{
+				Name: "panic", Cat: "serve", Phase: trace.PhaseInstant,
+				Track: h.track, TS: h.rec.Now(),
+			}
+			ev.AddArg("value", int64(len(fmt.Sprint(pval)))) // length only: arg values are integers
+			h.rec.Emit(ev)
+		}
+	}
+
+	h.statMu.Lock()
+	h.stats.UpdatesApplied += uint64(len(raw))
+	h.stats.BatchesApplied++
+	if panicked {
+		h.stats.Panics++
+	}
+	h.stats.Degraded = true
+	batches := h.stats.BatchesApplied
+	h.statMu.Unlock()
+	h.met.degraded.Set(1)
+	h.met.updatesApplied.Add(float64(len(raw)))
+	h.met.batchesApplied.Inc()
+
+	// Republish the last good data under the degraded flag. The epoch is
+	// the stale view's: it honestly describes which prefix the data
+	// answers for.
+	h.viewMu.Lock()
+	old := h.view
+	h.view = &View{Algo: h.algo, Epoch: old.Epoch, Batches: batches, Degraded: true, Data: old.Data}
+	h.viewMu.Unlock()
+
+	if h.quarantined {
+		return
+	}
+
+	// Heal: batch recompute over the graph as the panic left it. The
+	// recompute result reflects every update that reached the graph —
+	// including any partially staged batch — so the healed view is the
+	// correct answer for the current graph state.
+	var span trace.Span
+	if h.rec != nil {
+		span = h.rec.Begin("heal", "serve", h.track)
+	}
+	healed := func() (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		h.m.Recompute()
+		return true
+	}()
+	var data any
+	if healed {
+		// Recompute may have rebuilt the inner maintainer: re-install the
+		// engine tracer and take the fresh snapshot, both under the same
+		// fence.
+		healed = func() (ok bool) {
+			defer func() {
+				if recover() != nil {
+					ok = false
+				}
+			}()
+			if h.engTracer != nil {
+				if ts, tok := h.m.(tracerSetter); tok {
+					ts.SetTracer(h.engTracer)
+				}
+			}
+			data = h.m.Snapshot()
+			return true
+		}()
+	}
+	if h.rec != nil {
+		span.Arg("healed", boolArg(healed))
+		span.End()
+	}
+	if !healed {
+		h.quarantined = true
+		return
+	}
+
+	h.statMu.Lock()
+	h.stats.Heals++
+	h.stats.Degraded = false
+	h.stats.Epoch = h.stats.UpdatesApplied
+	epoch, batches := h.stats.Epoch, h.stats.BatchesApplied
+	h.statMu.Unlock()
+	h.met.heals.Inc()
+	h.met.degraded.Set(0)
+
+	v := &View{Algo: h.algo, Epoch: epoch, Batches: batches, Data: data}
+	h.viewMu.Lock()
+	h.view = v
+	h.viewMu.Unlock()
+}
+
+func boolArg(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"time"
 
 	"incgraph/internal/fixpoint"
@@ -50,6 +51,32 @@ func (i *Inc) Relation() Relation { return i.relation() }
 
 // Stats exposes inspection counters and the h/resume time split.
 func (i *Inc) Stats() fixpoint.Stats { return i.stats }
+
+// Pattern returns the maintained pattern graph.
+func (i *Inc) Pattern() *graph.Graph { return i.q }
+
+// ExportState copies out the state a durability checkpoint persists: the
+// match relation, the per-pair support counters, the falsification
+// timestamps (IncSim's auxiliary structure, supplying the order <_C),
+// and the logical clock.
+func (i *Inc) ExportState() (r []bool, cnt []int32, ts []int64, clock int64) {
+	return append([]bool(nil), i.r...), append([]int32(nil), i.cnt...),
+		append([]int64(nil), i.ts...), i.clock
+}
+
+// RestoreState installs state exported from a checkpoint of the same
+// data and pattern graphs.
+func (i *Inc) RestoreState(r []bool, cnt []int32, ts []int64, clock int64) error {
+	want := i.g.NumNodes() * i.nq
+	if len(r) != want || len(cnt) != want || len(ts) != want {
+		return fmt.Errorf("sim: restore of %d/%d/%d pairs into relation with %d", len(r), len(cnt), len(ts), want)
+	}
+	copy(i.r, r)
+	copy(i.cnt, cnt)
+	copy(i.ts, ts)
+	i.clock = clock
+	return nil
+}
 
 // SetTracer installs the span hook observing Repair's h and resume
 // phases (see fixpoint.Tracer). Inc is not engine-based, so it drives

@@ -1,6 +1,7 @@
 package sssp
 
 import (
+	"fmt"
 	"time"
 
 	"incgraph/internal/fixpoint"
@@ -69,6 +70,18 @@ func (i *Inc) Dist() []int64 { return i.dist }
 
 // Stats exposes inspection counters and the h/resume time split.
 func (i *Inc) Stats() fixpoint.Stats { return i.stats }
+
+// RestoreState overwrites the distance vector with one exported from a
+// checkpoint of the same graph. IncSSSP is deducible — the distances ARE
+// its complete incremental state (the order <_C is the distance order),
+// so dist is all a checkpoint needs to persist. The slice is copied.
+func (i *Inc) RestoreState(dist []int64) error {
+	if len(dist) != i.g.NumNodes() {
+		return fmt.Errorf("sssp: restore of %d distances into graph with %d nodes", len(dist), i.g.NumNodes())
+	}
+	copy(i.dist, dist)
+	return nil
+}
 
 // SetTracer installs the span hook observing Repair's h and resume
 // phases (see fixpoint.Tracer). Inc is not engine-based, so it drives

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 )
 
 // Chrome trace_event JSON export. The "JSON Object Format" emitted here
@@ -42,10 +43,19 @@ func micros(ns int64) float64 { return float64(ns) / 1e3 }
 // oldest-first with their integer args and, when present, the W3C trace
 // ID under args.traceparent_id.
 func (r *Recorder) WriteTraceEvents(w io.Writer) error {
+	return r.WriteTraceEventsN(w, 0)
+}
+
+// WriteTraceEventsN is WriteTraceEvents limited to the newest n events
+// (n <= 0 means everything retained) — the ?n= cap of GET /debug/trace.
+func (r *Recorder) WriteTraceEventsN(w io.Writer, n int) error {
 	r.mu.Lock()
 	tracks := append([]string(nil), r.tracks...)
 	r.mu.Unlock()
 	events := r.Events()
+	if n > 0 && len(events) > n {
+		events = events[len(events)-n:]
+	}
 
 	out := jsonTrace{DisplayTimeUnit: "ms", TraceEvents: make([]jsonEvent, 0, len(events)+len(tracks)+1)}
 	out.TraceEvents = append(out.TraceEvents, jsonEvent{
@@ -108,11 +118,21 @@ func (r *Recorder) WriteTraceEvents(w io.Writer) error {
 }
 
 // Handler returns an HTTP handler that dumps the flight recording, for
-// mounting at GET /debug/trace.
+// mounting at GET /debug/trace. ?n= limits the dump to the newest n
+// events; the recording ring bounds the response size either way.
 func (r *Recorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if raw := req.URL.Query().Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="incgraph-trace.json"`)
-		r.WriteTraceEvents(w)
+		r.WriteTraceEventsN(w, n)
 	})
 }

@@ -1,0 +1,252 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Checkpoint is a consistent cut of the serving state: for every hosted
+// algorithm its graph and an opaque state blob (the maintainer's
+// auxiliary structure — timestamps, anchors, intervals — serialized by
+// internal/serve). Epoch is the number of batches the cut has absorbed;
+// ReplayFrom is the WAL segment sequence at which records NOT covered by
+// this checkpoint begin, so recovery is: restore the checkpoint, then
+// replay segments >= ReplayFrom.
+type Checkpoint struct {
+	Epoch      uint64
+	ReplayFrom uint64
+	Algos      []AlgoState
+}
+
+// AlgoState is one algorithm's persisted slice of a checkpoint.
+type AlgoState struct {
+	Name  string
+	Graph []byte // graph.WriteBinary encoding of the host's graph
+	State []byte // maintainer state blob (gob, see internal/serve)
+}
+
+const (
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+	ckptMagic  = "IGK1"
+	// maxCkptBlob bounds any single length field read from a checkpoint so
+	// a corrupt file cannot force a giant allocation.
+	maxCkptBlob = 1 << 32
+)
+
+func ckptName(seq uint64) string { return fmt.Sprintf("%s%016d%s", ckptPrefix, seq, ckptSuffix) }
+
+func parseCkptName(name string) (uint64, bool) {
+	if len(name) != len(ckptPrefix)+16+len(ckptSuffix) ||
+		name[:len(ckptPrefix)] != ckptPrefix || name[len(name)-len(ckptSuffix):] != ckptSuffix {
+		return 0, false
+	}
+	var seq uint64
+	for _, c := range name[len(ckptPrefix) : len(ckptPrefix)+16] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
+// encode serializes the checkpoint: magic, epoch, replay-from, the algo
+// states, and one trailing CRC32C over everything before it. A single
+// whole-file checksum is enough because a checkpoint is written once and
+// read once, atomically.
+func (c *Checkpoint) encode() []byte {
+	buf := []byte(ckptMagic)
+	buf = binary.AppendUvarint(buf, c.Epoch)
+	buf = binary.AppendUvarint(buf, c.ReplayFrom)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Algos)))
+	for _, a := range c.Algos {
+		buf = binary.AppendUvarint(buf, uint64(len(a.Name)))
+		buf = append(buf, a.Name...)
+		buf = binary.AppendUvarint(buf, uint64(len(a.Graph)))
+		buf = append(buf, a.Graph...)
+		buf = binary.AppendUvarint(buf, uint64(len(a.State)))
+		buf = append(buf, a.State...)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, castagnoli))
+	return append(buf, crc[:]...)
+}
+
+// decodeCheckpoint parses and verifies an encoded checkpoint. Corruption
+// anywhere — including a truncated write — yields an error, never a
+// panic.
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(ckptMagic)+4 {
+		return nil, fmt.Errorf("wal: checkpoint too short (%d bytes)", len(data))
+	}
+	body, crc := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != crc {
+		return nil, fmt.Errorf("wal: checkpoint checksum mismatch")
+	}
+	if string(body[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("wal: bad checkpoint magic")
+	}
+	body = body[len(ckptMagic):]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(body)
+		if n <= 0 {
+			return 0, fmt.Errorf("wal: truncated checkpoint varint")
+		}
+		body = body[n:]
+		return v, nil
+	}
+	bytesField := func() ([]byte, error) {
+		ln, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if ln > maxCkptBlob || ln > uint64(len(body)) {
+			return nil, fmt.Errorf("wal: checkpoint field length %d exceeds remaining %d bytes", ln, len(body))
+		}
+		f := body[:ln]
+		body = body[ln:]
+		return f, nil
+	}
+	c := &Checkpoint{}
+	var err error
+	if c.Epoch, err = next(); err != nil {
+		return nil, err
+	}
+	if c.ReplayFrom, err = next(); err != nil {
+		return nil, err
+	}
+	nalgos, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if nalgos > uint64(len(body)) {
+		return nil, fmt.Errorf("wal: checkpoint claims %d algos in %d bytes", nalgos, len(body))
+	}
+	for i := uint64(0); i < nalgos; i++ {
+		var a AlgoState
+		name, err := bytesField()
+		if err != nil {
+			return nil, err
+		}
+		a.Name = string(name)
+		if a.Graph, err = bytesField(); err != nil {
+			return nil, err
+		}
+		if a.State, err = bytesField(); err != nil {
+			return nil, err
+		}
+		// Copy out of the shared backing array so callers can hold the
+		// blobs without pinning the whole file.
+		a.Graph = append([]byte(nil), a.Graph...)
+		a.State = append([]byte(nil), a.State...)
+		c.Algos = append(c.Algos, a)
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes after checkpoint", len(body))
+	}
+	return c, nil
+}
+
+// WriteCheckpoint atomically persists c into dir, named by its epoch:
+// write to a temp file, fsync it, rename into place, fsync the
+// directory. A crash at any point leaves either the complete new
+// checkpoint or no trace of it — never a half-written one under the
+// final name.
+func WriteCheckpoint(dir string, c *Checkpoint) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, ckptName(c.Epoch))
+	tmp, err := os.CreateTemp(dir, ckptPrefix+"tmp-*")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(c.encode()); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // make the rename itself durable
+		d.Close()
+	}
+	return final, nil
+}
+
+// checkpointSeqs lists checkpoint epochs present in dir, ascending.
+func checkpointSeqs(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if seq, ok := parseCkptName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// LatestCheckpoint loads the newest valid checkpoint in dir, scanning
+// backwards past any corrupt or torn ones (a crash during checkpointing
+// must not take recovery down with it). It returns (nil, nil) when no
+// valid checkpoint exists — recovery then replays the WAL from the
+// beginning.
+func LatestCheckpoint(dir string) (*Checkpoint, error) {
+	seqs, err := checkpointSeqs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(dir, ckptName(seqs[i])))
+		if err != nil {
+			return nil, err
+		}
+		c, err := decodeCheckpoint(data)
+		if err != nil {
+			continue // corrupt: fall back to the previous checkpoint
+		}
+		return c, nil
+	}
+	return nil, nil
+}
+
+// PruneCheckpoints removes all but the newest keep checkpoints. Keeping
+// at least two means a checkpoint corrupted in place still leaves a
+// recovery path.
+func PruneCheckpoints(dir string, keep int) error {
+	seqs, err := checkpointSeqs(dir)
+	if err != nil {
+		return err
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	for len(seqs) > keep {
+		if err := os.Remove(filepath.Join(dir, ckptName(seqs[0]))); err != nil {
+			return err
+		}
+		seqs = seqs[1:]
+	}
+	return nil
+}
