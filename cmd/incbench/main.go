@@ -46,7 +46,7 @@ type report struct {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|exp1|exp2|exp2types|exp3|exp4|aff|ablation|datasets|extensions|all")
+		exp      = flag.String("exp", "all", "experiment: table1|exp1|exp2|exp2types|exp3|exp4|aff|ablation|datasets|extensions|scaling|all")
 		class    = flag.String("class", "all", "query class for exp2: sssp|cc|sim|lcc|dfs|all")
 		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -129,6 +129,8 @@ func main() {
 		run("datasets", bench.ExpDatasets)
 	case "extensions":
 		run("extensions", bench.ExpExtensions)
+	case "scaling":
+		run("scaling", bench.ExpScaling)
 	case "all":
 		run("datasets", bench.ExpDatasets)
 		run("table1", bench.Table1)
@@ -140,6 +142,7 @@ func main() {
 		run("aff", bench.ExpAff)
 		run("ablation", bench.ExpAblation)
 		run("extensions", bench.ExpExtensions)
+		run("scaling", bench.ExpScaling)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

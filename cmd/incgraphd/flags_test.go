@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// renderFlagTable renders the daemon's flag definitions as the markdown
+// table README.md carries, rows in flag.VisitAll (lexicographic) order.
+func renderFlagTable(fs *flag.FlagSet) string {
+	var b strings.Builder
+	b.WriteString("| Flag | Default | Description |\n")
+	b.WriteString("|---|---|---|\n")
+	fs.VisitAll(func(f *flag.Flag) {
+		def := ""
+		if f.DefValue != "" {
+			def = "`" + f.DefValue + "`"
+		}
+		usage := strings.ReplaceAll(f.Usage, "|", "\\|")
+		b.WriteString("| `-" + f.Name + "` | " + def + " | " + usage + " |\n")
+	})
+	return strings.TrimSpace(b.String())
+}
+
+// TestReadmeFlagTable diffs README.md's incgraphd flag reference against
+// the live flag definitions, so the documented table cannot drift from
+// the binary: adding, renaming, or re-defaulting a flag without updating
+// the README fails this test (and vice versa).
+func TestReadmeFlagTable(t *testing.T) {
+	fs := flag.NewFlagSet("incgraphd", flag.ContinueOnError)
+	newFlags(fs)
+	want := renderFlagTable(fs)
+
+	raw, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin, end = "<!-- incgraphd-flags:begin -->", "<!-- incgraphd-flags:end -->"
+	s := string(raw)
+	i, j := strings.Index(s, begin), strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md is missing the %s / %s markers", begin, end)
+	}
+	got := strings.TrimSpace(s[i+len(begin) : j])
+	if got != want {
+		t.Fatalf("README.md flag table is out of date.\n--- want (generated from newFlags) ---\n%s\n--- got (README.md) ---\n%s", want, got)
+	}
+}
+
+// TestFlagDefaults spot-checks defaults the serving docs promise.
+func TestFlagDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("incgraphd", flag.ContinueOnError)
+	c := newFlags(fs)
+	if err := fs.Parse([]string{"-workers", "4", "-algos", "sssp"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.workers != 4 || c.algos != "sssp" {
+		t.Fatalf("parsed workers=%d algos=%q", c.workers, c.algos)
+	}
+	if c.listen != ":8356" || c.maxBatch != 256 || c.queue != 1024 {
+		t.Fatalf("defaults drifted: listen=%q max-batch=%d queue=%d", c.listen, c.maxBatch, c.queue)
+	}
+	if fs.Lookup("workers").DefValue != "0" {
+		t.Fatalf("workers default %q, want 0 (sequential)", fs.Lookup("workers").DefValue)
+	}
+}

@@ -11,6 +11,11 @@
 //	incgraphd -graph g.txt -algos cc -log-level debug -debug-addr :6060
 //	incgraphd -graph g.txt -algos cc -access-log
 //	incgraphd -graph g.txt -algos sssp,cc -data-dir /var/lib/incgraph
+//	incgraphd -graph g.txt -algos sssp,cc -workers 4
+//
+// The full flag reference lives in README.md ("incgraphd flag
+// reference"); a test diffs that table against the flag definitions here,
+// so the two cannot drift.
 //
 // API:
 //
@@ -39,6 +44,12 @@
 // single-writer apply loop; updates are validated, coalesced and batched
 // before one Apply call. On SIGINT/SIGTERM the daemon stops accepting
 // requests, drains every apply queue, and exits.
+//
+// With -workers n (n >= 2), maintainers that support the parallel
+// execution mode (sssp, cc) partition each repair round's frontier
+// across n workers; results are deterministic and identical to the
+// sequential mode, and /stats reports the per-host worker counters.
+// Other classes ignore the flag and stay sequential.
 //
 // With -data-dir set the daemon is durable: every accepted update batch
 // is write-ahead-logged (fsync policy per -fsync) before it is
@@ -71,50 +82,91 @@ import (
 	"incgraph"
 )
 
+// cliFlags holds every incgraphd flag value. newFlags registers the
+// definitions on a caller-supplied FlagSet, so tests instantiate exactly
+// the flag set main parses — the README flag-reference test diffs its
+// table against these definitions.
+type cliFlags struct {
+	listen    string
+	graphPath string
+	algos     string
+	src       int
+	pattern   string
+
+	genKind   string
+	genNodes  int
+	genDeg    int
+	genDirect bool
+	genSeed   int64
+
+	maxBatch int
+	maxWait  time.Duration
+	queue    int
+	workers  int
+
+	logLevel  string
+	debugAddr string
+	accessLog bool
+
+	dataDir       string
+	fsync         string
+	fsyncInterval time.Duration
+	ckptEvery     int
+	verifyRec     bool
+}
+
+// newFlags defines the daemon's flags on fs and returns the struct their
+// parsed values land in.
+func newFlags(fs *flag.FlagSet) *cliFlags {
+	c := &cliFlags{}
+	fs.StringVar(&c.listen, "listen", ":8356", "HTTP listen address")
+	fs.StringVar(&c.graphPath, "graph", "", "graph file (labeled edge-list format)")
+	fs.StringVar(&c.algos, "algos", "", "comma-separated query classes to host: sssp|cc|sim|dfs|lcc|bc")
+	fs.IntVar(&c.src, "src", 0, "source node (sssp)")
+	fs.StringVar(&c.pattern, "pattern", "", "pattern graph file (sim)")
+
+	fs.StringVar(&c.genKind, "gen", "", "host a synthetic graph instead of -graph: powerlaw|grid")
+	fs.IntVar(&c.genNodes, "nodes", 1000, "synthetic node count")
+	fs.IntVar(&c.genDeg, "deg", 8, "synthetic average degree")
+	fs.BoolVar(&c.genDirect, "directed", false, "synthetic graph directed")
+	fs.Int64Var(&c.genSeed, "seed", 1, "synthetic seed")
+
+	fs.IntVar(&c.maxBatch, "max-batch", 256, "coalescing window: flush after this many updates")
+	fs.DurationVar(&c.maxWait, "max-wait", 2*time.Millisecond, "coalescing window: flush after this long")
+	fs.IntVar(&c.queue, "queue", 1024, "per-maintainer submission queue depth")
+	fs.IntVar(&c.workers, "workers", 0, "partition repair rounds across this many workers (sssp, cc; 0 or 1: sequential)")
+
+	fs.StringVar(&c.logLevel, "log-level", "info", "log verbosity: debug|info|warn|error (debug logs every apply)")
+	fs.StringVar(&c.debugAddr, "debug-addr", "", "optional second listener for pprof and expvar (e.g. :6060)")
+	fs.BoolVar(&c.accessLog, "access-log", false, "log every HTTP request (method, path, status, duration, trace ID)")
+
+	fs.StringVar(&c.dataDir, "data-dir", "", "durability directory (WAL + checkpoints); empty runs in-memory only")
+	fs.StringVar(&c.fsync, "fsync", "always", "WAL fsync policy: always|interval|never")
+	fs.DurationVar(&c.fsyncInterval, "fsync-interval", 5*time.Millisecond, "fsync cadence under -fsync interval")
+	fs.IntVar(&c.ckptEvery, "checkpoint-every", 1024, "checkpoint after this many ingested batches (0: only on shutdown)")
+	fs.BoolVar(&c.verifyRec, "verify-recovery", true, "verify recovered answers against a batch recompute on startup")
+	return c
+}
+
 func main() {
-	var (
-		listen    = flag.String("listen", ":8356", "HTTP listen address")
-		graphPath = flag.String("graph", "", "graph file (labeled edge-list format)")
-		algos     = flag.String("algos", "", "comma-separated query classes to host: sssp|cc|sim|dfs|lcc|bc")
-		src       = flag.Int("src", 0, "source node (sssp)")
-		pattern   = flag.String("pattern", "", "pattern graph file (sim)")
-
-		genKind   = flag.String("gen", "", "host a synthetic graph instead of -graph: powerlaw|grid")
-		genNodes  = flag.Int("nodes", 1000, "synthetic node count")
-		genDeg    = flag.Int("deg", 8, "synthetic average degree")
-		genDirect = flag.Bool("directed", false, "synthetic graph directed")
-		genSeed   = flag.Int64("seed", 1, "synthetic seed")
-
-		maxBatch = flag.Int("max-batch", 256, "coalescing window: flush after this many updates")
-		maxWait  = flag.Duration("max-wait", 2*time.Millisecond, "coalescing window: flush after this long")
-		queue    = flag.Int("queue", 1024, "per-maintainer submission queue depth")
-
-		logLevel  = flag.String("log-level", "info", "log verbosity: debug|info|warn|error (debug logs every apply)")
-		debugAddr = flag.String("debug-addr", "", "optional second listener for pprof and expvar (e.g. :6060)")
-		accessLog = flag.Bool("access-log", false, "log every HTTP request (method, path, status, duration, trace ID)")
-
-		dataDir       = flag.String("data-dir", "", "durability directory (WAL + checkpoints); empty runs in-memory only")
-		fsync         = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
-		fsyncInterval = flag.Duration("fsync-interval", 5*time.Millisecond, "fsync cadence under -fsync interval")
-		ckptEvery     = flag.Int("checkpoint-every", 1024, "checkpoint after this many ingested batches (0: only on shutdown)")
-		verifyRec     = flag.Bool("verify-recovery", true, "verify recovered answers against a batch recompute on startup")
-	)
+	c := newFlags(flag.CommandLine)
 	flag.Parse()
-	logger, err := newLogger(*logLevel)
+	logger, err := newLogger(c.logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "incgraphd:", err)
 		os.Exit(2)
 	}
 	dur := durabilityConfig{
-		dataDir:       *dataDir,
-		fsync:         *fsync,
-		fsyncInterval: *fsyncInterval,
-		ckptEvery:     *ckptEvery,
-		verify:        *verifyRec,
+		dataDir:       c.dataDir,
+		fsync:         c.fsync,
+		fsyncInterval: c.fsyncInterval,
+		ckptEvery:     c.ckptEvery,
+		verify:        c.verifyRec,
 	}
-	if err := run(logger, *listen, *debugAddr, *graphPath, *algos, *pattern, *genKind,
-		incgraph.NodeID(*src), *genSeed, *genNodes, *genDeg, *genDirect, *accessLog,
-		incgraph.ServeOptions{MaxBatch: *maxBatch, MaxWait: *maxWait, Queue: *queue}, dur); err != nil {
+	if err := run(logger, c.listen, c.debugAddr, c.graphPath, c.algos, c.pattern, c.genKind,
+		incgraph.NodeID(c.src), c.genSeed, c.genNodes, c.genDeg, c.genDirect, c.accessLog,
+		incgraph.ServeOptions{MaxBatch: c.maxBatch, MaxWait: c.maxWait, Queue: c.queue, Workers: c.workers},
+		dur); err != nil {
 		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}

@@ -51,6 +51,12 @@ type Result struct {
 	Affected int `json:"affected,omitempty"`
 	// Speedup is BatchSeconds / IncSeconds.
 	Speedup float64 `json:"speedup,omitempty"`
+	// Workers is the worker count of a parallel-mode measurement; 0 for
+	// the (default) sequential runs. In the scaling experiment the
+	// baseline in BatchSeconds is the sequential repair, so Speedup is
+	// the parallel scaling factor rather than a batch-vs-incremental
+	// ratio.
+	Workers int `json:"workers,omitempty"`
 }
 
 // report fills the derived Speedup field and forwards r to the Report

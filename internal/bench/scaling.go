@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+
+	"incgraph/internal/cc"
+	"incgraph/internal/fixpoint"
+	"incgraph/internal/gen"
+	"incgraph/internal/graph"
+	"incgraph/internal/sssp"
+)
+
+// parWorker is the slice of the maintainer API the scaling experiment
+// needs: the engine-backed maintainers accept a worker count and report
+// the parallel-drain counters.
+type parWorker interface {
+	applier
+	SetWorkers(int)
+	ParStats() fixpoint.ParStats
+	Close()
+}
+
+// ExpScaling measures the parallel execution mode against the sequential
+// drain on exp2's large-batch workloads: IncSSSP on the FS stand-in and
+// IncCC on the OKT stand-in, each repairing one |ΔG|=32% batch with 1, 2,
+// 4 and 8 workers. The 1-worker run is the baseline, so the reported
+// speedup is sequential-time / parallel-time — the scaling curve, not the
+// batch-vs-incremental ratio of the other experiments. Alongside the
+// wall time each row shows |AFF| (identical across worker counts: the
+// parallel mode computes the same fixpoint over the same affected area)
+// and the measured worker utilization and imbalance.
+//
+// Interpretation note: speedups above 1 need real parallel hardware. On a
+// single-core machine (GOMAXPROCS=1) the rows still validate determinism
+// and report utilization ≈ 1/workers, but wall times cannot improve — see
+// EXPERIMENTS.md.
+func ExpScaling(cfg Config) {
+	run := func(exp, dataset, algo string, fresh func() parWorker, upd graph.Batch) {
+		t := newTable(cfg.Out,
+			fmt.Sprintf("Parallel scaling: %s on %s, |ΔG|=32%%", algo, dataset),
+			"workers", "repair", "speedup", "|AFF|", "par rounds", "util", "imbalance")
+		var seqTime float64
+		for _, w := range []int{1, 2, 4, 8} {
+			m := fresh()
+			if w > 1 {
+				m.SetWorkers(w)
+			}
+			var aff int
+			sec := stopwatch(func() { aff = m.Apply(upd) })
+			ps := m.ParStats()
+			m.Close()
+			if w == 1 {
+				seqTime = sec
+			}
+			t.row(fmt.Sprintf("%d", w), sec, speedup(seqTime, sec), aff,
+				fmt.Sprintf("%d", ps.ParRounds),
+				fmt.Sprintf("%.2f", ps.Utilization()),
+				fmt.Sprintf("%.2f", ps.MaxImbalance))
+			cfg.report(Result{Experiment: exp, Dataset: dataset, Algo: algo,
+				Workload:     "|ΔG|=32%",
+				BatchSeconds: seqTime, IncSeconds: sec, Affected: aff,
+				Speedup: seqTime / sec, Workers: w})
+		}
+		t.flush()
+	}
+
+	{
+		d, _ := gen.ByName("FS")
+		g := d.Build(cfg.Seed, cfg.Scale)
+		upd := gen.RandomUpdates(newRNG(cfg.Seed), g, deltaSize(g, 32), 0.5)
+		run("scaling-sssp", "FS", "IncSSSP",
+			func() parWorker { return sssp.NewInc(g.Clone(), 0) }, upd)
+	}
+	{
+		d, _ := gen.ByName("OKT")
+		g := buildUndirected(d, cfg.Seed, cfg.Scale)
+		upd := gen.RandomUpdates(newRNG(cfg.Seed), g, deltaSize(g, 32), 0.5)
+		run("scaling-cc", "OKT", "IncCC",
+			func() parWorker { return cc.NewInc(g.Clone()) }, upd)
+	}
+}

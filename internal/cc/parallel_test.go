@@ -1,0 +1,49 @@
+package cc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"incgraph/internal/fixpoint"
+	"incgraph/internal/gen"
+)
+
+// TestParallelMatchesSequential is the CC differential test of the
+// engine's parallel mode through the class maintainer: parallel and
+// sequential IncCC must publish bit-identical labels after every repair,
+// and both must match the fresh batch answer.
+func TestParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		for _, workers := range []int{2, 4} {
+			rng := rand.New(rand.NewSource(seed))
+			g := gen.ErdosRenyi(rng, 300, 500, seed%2 == 0)
+			seq := NewInc(g.Clone())
+			par := NewInc(g.Clone())
+			par.SetWorkers(workers)
+			for round := 0; round < 5; round++ {
+				b := gen.RandomUpdates(rng, seq.Graph(), 50, 0.5)
+				seq.Apply(b)
+				par.Apply(b)
+				if !reflect.DeepEqual(seq.Labels(), par.Labels()) {
+					t.Fatalf("seed %d workers %d round %d: parallel labels != sequential",
+						seed, workers, round)
+				}
+				if want := Components(par.Graph()); !reflect.DeepEqual(par.Labels(), want) {
+					t.Fatalf("seed %d workers %d round %d: parallel labels != batch",
+						seed, workers, round)
+				}
+			}
+			if par.Workers() != workers {
+				t.Fatalf("Workers() = %d, want %d", par.Workers(), workers)
+			}
+			if ps := par.ParStats(); ps.Workers != workers {
+				t.Fatalf("ParStats.Workers = %d, want %d", ps.Workers, workers)
+			}
+			par.Close()
+		}
+	}
+	if s := NewInc(gen.ErdosRenyi(rand.New(rand.NewSource(1)), 30, 40, false)).ParStats(); s != (fixpoint.ParStats{}) {
+		t.Fatalf("sequential maintainer has parallel stats: %+v", s)
+	}
+}

@@ -1,0 +1,153 @@
+// Package doclint checks that every exported identifier in a package
+// carries a doc comment. It is the enforcement half of the repository's
+// documentation contract: the packages named in doclint_test.go cannot
+// gain an undocumented exported symbol without failing `go test`.
+//
+// The checker is deliberately small and dependency-free (go/ast only,
+// no go/packages): it parses the non-test .go files of a directory and
+// applies the classic golint exported-doc rules.
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one undocumented exported identifier.
+type Finding struct {
+	// Pos is the identifier's position, formatted "file:line".
+	Pos string
+	// Symbol is the flat name: "Name", "Type.Method", or "Type" for
+	// type declarations.
+	Symbol string
+	// Kind is one of "func", "method", "type", "const", "var".
+	Kind string
+}
+
+// String renders the finding as a file:line diagnostic.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: exported %s %s has no doc comment", f.Pos, f.Kind, f.Symbol)
+}
+
+// CheckDir parses every non-test .go file in dir and returns one
+// Finding per exported identifier that lacks a doc comment, sorted by
+// position. Rules, matching gofmt'd godoc conventions:
+//
+//   - Exported functions and types need a doc comment on the decl.
+//   - Exported methods need a doc comment unless their receiver type is
+//     unexported (the method is then unreachable from outside).
+//   - Exported consts and vars need a doc comment on the enclosing
+//     declaration group, on their own spec, or a trailing line comment;
+//     inside a documented group, individual specs may stay bare (the
+//     usual enum idiom).
+//   - A package must have one package comment across its files.
+func CheckDir(dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	pkgDoc := false
+	parsed := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed++
+		if f.Doc != nil {
+			pkgDoc = true
+		}
+		findings = append(findings, checkFile(fset, f)...)
+	}
+	if parsed > 0 && !pkgDoc {
+		findings = append(findings, Finding{Pos: dir, Symbol: "package", Kind: "package"})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Pos < findings[j].Pos })
+	return findings, nil
+}
+
+func checkFile(fset *token.FileSet, f *ast.File) []Finding {
+	var out []Finding
+	at := func(p token.Pos) string {
+		pos := fset.Position(p)
+		return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			sym, kind := d.Name.Name, "func"
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				recv := receiverName(d.Recv.List[0].Type)
+				if recv != "" && !ast.IsExported(recv) {
+					continue // method on unexported type
+				}
+				sym, kind = recv+"."+d.Name.Name, "method"
+			}
+			out = append(out, Finding{Pos: at(d.Pos()), Symbol: sym, Kind: kind})
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+						out = append(out, Finding{Pos: at(ts.Pos()), Symbol: ts.Name.Name, Kind: "type"})
+					}
+				}
+			case token.CONST, token.VAR:
+				if d.Doc != nil {
+					continue // documented group covers its specs
+				}
+				kind := "const"
+				if d.Tok == token.VAR {
+					kind = "var"
+				}
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if vs.Doc != nil || vs.Comment != nil {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.IsExported() {
+							out = append(out, Finding{Pos: at(n.Pos()), Symbol: n.Name, Kind: kind})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverName unwraps *T, T[P], and *T[P] receivers to the bare type
+// name T.
+func receiverName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

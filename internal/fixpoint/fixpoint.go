@@ -200,22 +200,48 @@ type Engine[V any] struct {
 	hEnqFn func(Var)
 	hx     Var
 
-	tracer Tracer // optional span hook; nil ⇒ untraced path, zero cost
+	tracer    Tracer         // optional span hook; nil ⇒ untraced path, zero cost
+	parTracer ParRoundTracer // tracer's optional parallel extension, captured at SetTracer
 
 	wl      worklist     // step-function scope
 	hq      *indexedHeap // h's queue, ordered by old timestamps
 	inScope []int64      // epoch marks for H⁰ membership
 	epoch   int64
+
+	// Parallel execution mode (see parallel.go). All fields stay nil/zero
+	// for sequential engines, so the n<=1 path allocates nothing extra.
+	workers      int            // >= 2 ⇒ partitioned round drains
+	parThreshold int            // minimum frontier size to partition
+	pool         *Pool          // reusable workers, spawned lazily
+	parWs        []parWorker[V] // per-worker buffers, reused across rounds
+	parts        []span         // current round's frontier partition
+	frontier     []Var          // round frontier snapshot, reused
+	recomp       []Var          // pull mode: deduped dependents, reused
+	parSeen      []int64        // pull mode: epoch marks for dedup
+	parEpoch     int64
+	parRelaxFn   func(int) // hoisted phase closures (no per-round allocs)
+	parDepFn     func(int)
+	parEvalFn    func(int)
+	par          ParStats
 }
 
 // New creates an engine for the instance with an empty (all-Bottom) state.
-func New[V any](inst Instance[V], policy Policy) *Engine[V] {
+// Options (WithWorkers, WithParThreshold) configure the parallel execution
+// mode; without them the engine is sequential. The engine is single-writer:
+// all methods must be called from one goroutine at a time (the parallel
+// mode's worker pool is an internal detail — the driver still blocks until
+// each round's merge completes).
+func New[V any](inst Instance[V], policy Policy, opts ...Option) *Engine[V] {
+	cfg := config{parThreshold: defaultParThreshold}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	n := inst.NumVars()
 	st := &State[V]{Val: make([]V, n), TS: make([]int64, n)}
 	for i := 0; i < n; i++ {
 		st.Val[i] = inst.Bottom(Var(i))
 	}
-	e := &Engine[V]{inst: inst, policy: policy, st: st}
+	e := &Engine[V]{inst: inst, policy: policy, st: st, parThreshold: cfg.parThreshold}
 	e.relaxer, _ = inst.(Relaxer[V])
 	e.getFn = func(x Var) V {
 		e.st.Stats.Reads++
@@ -260,12 +286,18 @@ func New[V any](inst Instance[V], policy Policy) *Engine[V] {
 			e.hq.AddOrAdjust(z)
 		}
 	}
+	e.SetWorkers(cfg.workers)
 	return e
 }
 
 // SetTracer installs (or, with nil, removes) the span hook observing
-// incremental runs. Call it from the goroutine that drives the engine.
-func (e *Engine[V]) SetTracer(t Tracer) { e.tracer = t }
+// incremental runs. If the tracer also implements ParRoundTracer it
+// additionally receives per-round parallel events. Call it from the
+// goroutine that drives the engine.
+func (e *Engine[V]) SetTracer(t Tracer) {
+	e.tracer = t
+	e.parTracer, _ = t.(ParRoundTracer)
+}
 
 // State exposes the engine's status for inspection and for handing the
 // fixpoint D^r to a later incremental run.
@@ -305,6 +337,9 @@ func (e *Engine[V]) Grow() {
 		e.st.Val = append(e.st.Val, e.inst.Bottom(x))
 		e.st.TS = append(e.st.TS, 0)
 		e.inScope = append(e.inScope, 0)
+	}
+	for e.parSeen != nil && len(e.parSeen) < n {
+		e.parSeen = append(e.parSeen, 0)
 	}
 	e.wl.Grow(n)
 	e.hq.Grow(n)
@@ -349,7 +384,7 @@ func (e *Engine[V]) Run() {
 		e.recompute(x)
 		e.wl.AddOrAdjust(x)
 	})
-	e.drain()
+	e.dispatchDrain()
 }
 
 // drain is the step function f_A iterated to the fixpoint: it pops a
@@ -418,7 +453,7 @@ func (e *Engine[V]) ResumeFrom(scope []Var) {
 		e.recompute(x)
 		e.wl.AddOrAdjust(x)
 	}
-	e.drain()
+	e.dispatchDrain()
 }
 
 // Touched describes one variable whose input set evolved under ΔG.
@@ -478,12 +513,10 @@ func (e *Engine[V]) IncrementalRunDelta(touched []Touched, pushSeeds []Var) []Va
 	for _, x := range pushSeeds {
 		e.wl.AddOrAdjust(x)
 	}
+	e.dispatchDrain()
 	if e.tracer != nil {
-		e.drainRounds()
 		d := e.st.Stats
 		e.tracer.EndRun(d.Pops-resume0.Pops, d.Changes-resume0.Changes)
-	} else {
-		e.drain()
 	}
 	e.st.Stats.HSeconds += mid.Sub(start).Seconds()
 	e.st.Stats.ResumeSeconds += time.Since(mid).Seconds()

@@ -1,0 +1,412 @@
+package fixpoint
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// applyRandomDelta mutates both graphs identically with nUpd random edge
+// insertions/deletions and returns the touched heads.
+func applyRandomDelta(rng *rand.Rand, n, nUpd int, graphs ...*minPlus) []Var {
+	var touched []Var
+	for i := 0; i < nUpd; i++ {
+		u, v := Var(rng.Intn(n)), Var(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		w := int64(rng.Intn(20) + 1)
+		has := false
+		for _, a := range graphs[0].out[u] {
+			if a.to == v {
+				has = true
+				break
+			}
+		}
+		for _, g := range graphs {
+			if has {
+				g.delEdge(u, v)
+			} else {
+				g.addEdge(u, v, w)
+			}
+		}
+		touched = append(touched, v)
+	}
+	return touched
+}
+
+// TestParallelMatchesSequential is the engine-level differential test of
+// the parallel mode: for push (meet-form) and pull instances, under both
+// worklist policies, a parallel engine's values must be bit-identical to
+// a sequential engine's after the batch run and after every incremental
+// round. WithParThreshold(1) forces even tiny frontiers through the
+// partitioned path.
+func TestParallelMatchesSequential(t *testing.T) {
+	const n = 40
+	build := func(seed int64) *minPlus {
+		r := rand.New(rand.NewSource(seed))
+		m := newMinPlus(n, 0)
+		for i := 0; i < 130; i++ {
+			u, v := Var(r.Intn(n)), Var(r.Intn(n))
+			if u != v {
+				m.addEdge(u, v, int64(r.Intn(20)+1))
+			}
+		}
+		return m
+	}
+	type variant struct {
+		name   string
+		policy Policy
+		push   bool
+	}
+	variants := []variant{
+		{"pull-priority", PriorityOrder, false},
+		{"pull-fifo", FIFOOrder, false},
+		{"push-priority", PriorityOrder, true},
+		{"push-fifo", FIFOOrder, true},
+	}
+	for _, vt := range variants {
+		t.Run(vt.name, func(t *testing.T) {
+			for seed := int64(0); seed < 12; seed++ {
+				for _, workers := range []int{2, 3, 8} {
+					gs, gp := build(seed), build(seed)
+					mk := func(m *minPlus, opts ...Option) *Engine[int64] {
+						if vt.push {
+							return New[int64](pushMinPlus{m}, vt.policy, opts...)
+						}
+						return New[int64](m, vt.policy, opts...)
+					}
+					seq := mk(gs)
+					par := mk(gp, WithWorkers(workers), WithParThreshold(1))
+					defer par.Close()
+					seq.Run()
+					par.Run()
+					if !reflect.DeepEqual(seq.State().Val, par.State().Val) {
+						t.Fatalf("seed %d workers %d: parallel batch != sequential", seed, workers)
+					}
+					rng := rand.New(rand.NewSource(seed + 1000))
+					for round := 0; round < 5; round++ {
+						touched := applyRandomDelta(rng, n, 8, gs, gp)
+						seq.IncrementalRun(touched)
+						par.IncrementalRun(touched)
+						if !reflect.DeepEqual(seq.State().Val, par.State().Val) {
+							t.Fatalf("seed %d workers %d round %d: parallel inc != sequential",
+								seed, workers, round)
+						}
+						if !par.Fixpoint() {
+							t.Fatalf("seed %d workers %d round %d: parallel inc not a fixpoint",
+								seed, workers, round)
+						}
+					}
+					if workers > 1 && par.ParStats().ParRounds == 0 {
+						t.Fatalf("seed %d workers %d: no parallel rounds despite threshold 1", seed, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequentialMinLabel covers the FIFO pull instance the
+// CC class uses (label propagation over an undirected adjacency).
+func TestParallelMatchesSequentialMinLabel(t *testing.T) {
+	const n = 60
+	build := func(seed int64) *minLabel {
+		r := rand.New(rand.NewSource(seed))
+		adj := make([][]Var, n)
+		for i := 0; i < 70; i++ {
+			u, v := Var(r.Intn(n)), Var(r.Intn(n))
+			if u != v {
+				adj[u] = append(adj[u], v)
+				adj[v] = append(adj[v], u)
+			}
+		}
+		return &minLabel{adj: adj}
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		seq := New[int64](build(seed), FIFOOrder)
+		par := New[int64](build(seed), FIFOOrder, WithWorkers(4), WithParThreshold(1))
+		seq.Run()
+		par.Run()
+		par.Close()
+		if !reflect.DeepEqual(seq.State().Val, par.State().Val) {
+			t.Fatalf("seed %d: parallel minLabel != sequential", seed)
+		}
+		if !par.Fixpoint() {
+			t.Fatalf("seed %d: parallel minLabel not a fixpoint", seed)
+		}
+	}
+}
+
+// TestParallelDeterministic: for a fixed worker count the parallel
+// schedule is fully deterministic — two engines over the same graph and
+// batch sequence agree not only on values but on timestamps and
+// counters, the stronger property the serve layer's reproducible traces
+// rely on.
+func TestParallelDeterministic(t *testing.T) {
+	const n = 40
+	build := func() *minPlus {
+		r := rand.New(rand.NewSource(7))
+		m := newMinPlus(n, 0)
+		for i := 0; i < 120; i++ {
+			u, v := Var(r.Intn(n)), Var(r.Intn(n))
+			if u != v {
+				m.addEdge(u, v, int64(r.Intn(20)+1))
+			}
+		}
+		return m
+	}
+	ga, gb := build(), build()
+	a := New[int64](pushMinPlus{ga}, PriorityOrder, WithWorkers(4), WithParThreshold(1))
+	b := New[int64](pushMinPlus{gb}, PriorityOrder, WithWorkers(4), WithParThreshold(1))
+	defer a.Close()
+	defer b.Close()
+	a.Run()
+	b.Run()
+	rngA := rand.New(rand.NewSource(11))
+	rngB := rand.New(rand.NewSource(11))
+	for round := 0; round < 4; round++ {
+		ta := applyRandomDelta(rngA, n, 8, ga)
+		tb := applyRandomDelta(rngB, n, 8, gb)
+		a.IncrementalRun(ta)
+		b.IncrementalRun(tb)
+	}
+	if !reflect.DeepEqual(a.State().Val, b.State().Val) {
+		t.Fatal("values diverged between identical parallel runs")
+	}
+	if !reflect.DeepEqual(a.State().TS, b.State().TS) {
+		t.Fatal("timestamps diverged between identical parallel runs")
+	}
+	stA, stB := a.State().Stats, b.State().Stats
+	stA.HSeconds, stB.HSeconds = 0, 0 // wall-clock fields legitimately differ
+	stA.ResumeSeconds, stB.ResumeSeconds = 0, 0
+	if stA != stB {
+		t.Fatalf("stats diverged: %+v vs %+v", stA, stB)
+	}
+	sa, sb := a.ParStats(), b.ParStats()
+	sa.BusyNanos, sb.BusyNanos = 0, 0 // wall-clock fields legitimately differ
+	sa.WallNanos, sb.WallNanos = 0, 0
+	if sa != sb {
+		t.Fatalf("parallel stats diverged: %+v vs %+v", sa, sb)
+	}
+}
+
+// TestParallelEmptyRun: an incremental run with nothing to do (empty
+// touched and seed sets) must terminate immediately with no parallel
+// rounds — the "empty rounds" partitioning edge case.
+func TestParallelEmptyRun(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](pushMinPlus{m}, PriorityOrder, WithWorkers(4), WithParThreshold(1))
+	defer e.Close()
+	e.Run()
+	before := e.ParStats()
+	e.IncrementalRunDelta(nil, nil)
+	after := e.ParStats()
+	if after.ParRounds != before.ParRounds || after.SeqRounds != before.SeqRounds {
+		t.Fatalf("empty run added rounds: before %+v after %+v", before, after)
+	}
+	// A no-op round: seeds that are already at the fixpoint produce one
+	// frontier whose candidates all fail the meet — and no second round.
+	before = after
+	e.IncrementalRunDelta(nil, []Var{2})
+	after = e.ParStats()
+	if got := (after.ParRounds - before.ParRounds) + (after.SeqRounds - before.SeqRounds); got != 1 {
+		t.Fatalf("no-op seed run: %d rounds, want exactly 1", got)
+	}
+	if !e.Fixpoint() {
+		t.Fatal("not a fixpoint after no-op runs")
+	}
+}
+
+// TestParallelFrontierSmallerThanWorkers: with more workers than frontier
+// items the partitioner must cap the chunk count at the frontier size and
+// still produce correct results.
+func TestParallelFrontierSmallerThanWorkers(t *testing.T) {
+	seqG, parG := paperGraph(), paperGraph()
+	seq := New[int64](pushMinPlus{seqG}, PriorityOrder)
+	par := New[int64](pushMinPlus{parG}, PriorityOrder, WithWorkers(8), WithParThreshold(1))
+	defer par.Close()
+	seq.Run()
+	par.Run() // every frontier in the 8-node paper graph is < 8 items
+	if !reflect.DeepEqual(seq.State().Val, par.State().Val) {
+		t.Fatal("parallel != sequential with workers > frontier")
+	}
+	if par.ParStats().ParRounds == 0 {
+		t.Fatal("expected partitioned rounds at threshold 1")
+	}
+	// And incrementally, on the paper's ΔG.
+	for _, g := range []*minPlus{seqG, parG} {
+		g.delEdge(5, 6)
+		g.addEdge(5, 3, 1)
+	}
+	seq.IncrementalRun([]Var{6, 3})
+	par.IncrementalRun([]Var{6, 3})
+	if !reflect.DeepEqual(seq.State().Val, par.State().Val) {
+		t.Fatal("incremental parallel != sequential with workers > frontier")
+	}
+}
+
+// TestParallelHubImbalance: equal-size partitions do not mean equal work.
+// A hub vertex whose degree dwarfs its round-mates concentrates the
+// round's relaxations in one worker's chunk, and the work-based imbalance
+// gauge must reflect that skew.
+func TestParallelHubImbalance(t *testing.T) {
+	const fillers = 63 // round-2 frontier: hub + fillers = 64 items
+	const hubDeg = 4000
+	n := 2 + fillers + hubDeg
+	m := newMinPlus(n, 0)
+	hub := Var(1)
+	m.addEdge(0, hub, 1)
+	for i := 0; i < fillers; i++ {
+		m.addEdge(0, Var(2+i), 1)
+	}
+	for i := 0; i < hubDeg; i++ {
+		m.addEdge(hub, Var(2+fillers+i), 1)
+	}
+	e := New[int64](pushMinPlus{m}, PriorityOrder, WithWorkers(4), WithParThreshold(2))
+	defer e.Close()
+	e.Run()
+	ps := e.ParStats()
+	if ps.ParRounds == 0 {
+		t.Fatal("expected partitioned rounds")
+	}
+	// The 64-item round splits 4 × 16; the hub's chunk does ~hubDeg
+	// relaxations while the others do ~15 each, so the busiest worker
+	// carries nearly 4× the mean.
+	if ps.MaxImbalance < 2.0 {
+		t.Fatalf("hub round imbalance %.2f, want >= 2.0 (stats %+v)", ps.MaxImbalance, ps)
+	}
+	if ps.Workers != 4 {
+		t.Fatalf("ParStats.Workers = %d, want 4", ps.Workers)
+	}
+	if ps.Candidates < hubDeg {
+		t.Fatalf("Candidates = %d, want >= %d", ps.Candidates, hubDeg)
+	}
+	if u := ps.Utilization(); u < 0 || u > 1 {
+		t.Fatalf("Utilization = %v, want in [0,1]", u)
+	}
+}
+
+// TestParallelFallbackZeroAlloc: configuring workers and then dropping
+// back to n<=1 must restore the exact sequential path — including its
+// zero-allocation guarantee (the parallel analogue of
+// TestNilTracerZeroAlloc).
+func TestParallelFallbackZeroAlloc(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](m, PriorityOrder, WithWorkers(4))
+	e.SetWorkers(1) // back to sequential; pool released
+	e.Run()
+
+	if n := testing.AllocsPerRun(100, func() {
+		e.IncrementalRunDelta(nil, nil)
+	}); n != 0 {
+		t.Errorf("empty incremental run with workers=1: %v allocs, want 0", n)
+	}
+	seeds := []Var{2}
+	if n := testing.AllocsPerRun(100, func() {
+		e.IncrementalRunDelta(nil, seeds)
+	}); n != 0 {
+		t.Errorf("push-seed incremental run with workers=1: %v allocs, want 0", n)
+	}
+
+	// WithWorkers(0) and WithWorkers(1) are the sequential default too.
+	e2 := New[int64](paperGraph(), PriorityOrder, WithWorkers(0))
+	e2.Run()
+	if n := testing.AllocsPerRun(100, func() {
+		e2.IncrementalRunDelta(nil, nil)
+	}); n != 0 {
+		t.Errorf("empty incremental run with workers=0: %v allocs, want 0", n)
+	}
+}
+
+// TestSetWorkersMidStream: an engine can switch between sequential and
+// parallel between runs without perturbing results, and Close is safe to
+// call repeatedly (the pool respawns lazily).
+func TestSetWorkersMidStream(t *testing.T) {
+	const n = 40
+	build := func() *minPlus {
+		r := rand.New(rand.NewSource(3))
+		m := newMinPlus(n, 0)
+		for i := 0; i < 120; i++ {
+			u, v := Var(r.Intn(n)), Var(r.Intn(n))
+			if u != v {
+				m.addEdge(u, v, int64(r.Intn(20)+1))
+			}
+		}
+		return m
+	}
+	gs, gp := build(), build()
+	seq := New[int64](gs, PriorityOrder)
+	par := New[int64](gp, PriorityOrder, WithParThreshold(1))
+	seq.Run()
+	par.Run() // still sequential
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 6; round++ {
+		switch round {
+		case 1:
+			par.SetWorkers(3)
+		case 3:
+			par.Close() // pool respawns on next parallel round
+		case 4:
+			par.SetWorkers(1)
+		}
+		touched := applyRandomDelta(rng, n, 8, gs, gp)
+		seq.IncrementalRun(touched)
+		par.IncrementalRun(touched)
+		if !reflect.DeepEqual(seq.State().Val, par.State().Val) {
+			t.Fatalf("round %d: mid-stream worker switch diverged", round)
+		}
+	}
+	par.Close()
+	if got := par.Workers(); got != 1 {
+		t.Fatalf("Workers() = %d, want 1 after SetWorkers(1)", got)
+	}
+}
+
+// TestParStatsSubAdd checks the snapshot algebra the serve layer uses to
+// isolate per-apply parallel work.
+func TestParStatsSubAdd(t *testing.T) {
+	a := ParStats{Workers: 4, ParRounds: 10, SeqRounds: 2, Items: 100, Candidates: 500,
+		BusyNanos: 1000, WallNanos: 400, LastImbalance: 1.5, MaxImbalance: 3}
+	b := ParStats{Workers: 4, ParRounds: 4, SeqRounds: 1, Items: 40, Candidates: 200,
+		BusyNanos: 300, WallNanos: 100, LastImbalance: 1.2, MaxImbalance: 2}
+	d := a.Sub(b)
+	if d.ParRounds != 6 || d.Items != 60 || d.Candidates != 300 || d.BusyNanos != 700 {
+		t.Fatalf("Sub: %+v", d)
+	}
+	if d.LastImbalance != 1.5 || d.MaxImbalance != 3 || d.Workers != 4 {
+		t.Fatalf("Sub gauges: %+v", d)
+	}
+	s := b.Add(d)
+	if s.ParRounds != 10 || s.Items != 100 || s.MaxImbalance != 3 || s.LastImbalance != 1.5 {
+		t.Fatalf("Add: %+v", s)
+	}
+	zero := ParStats{}
+	if u := zero.Utilization(); u != 0 {
+		t.Fatalf("zero Utilization = %v", u)
+	}
+	if u := a.Utilization(); u <= 0 || u > 1 {
+		t.Fatalf("Utilization = %v, want (0,1]", u)
+	}
+}
+
+// TestPool exercises the pool directly: inline k=1, k up to size, and
+// reuse across many dispatches.
+func TestPool(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	got := make([]int, 4)
+	p.Run(1, func(id int) { got[id] += 1 }) // inline
+	p.Run(4, func(id int) { got[id] += 10 })
+	for round := 0; round < 50; round++ {
+		p.Run(3, func(id int) { got[id]++ })
+	}
+	want := []int{61, 60, 60, 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("per-worker counts %v, want %v", got, want)
+	}
+	p.Run(0, func(id int) { t.Fatal("k=0 must not invoke f") })
+}

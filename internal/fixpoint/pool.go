@@ -1,0 +1,76 @@
+package fixpoint
+
+import "sync"
+
+// Pool is a reusable fixed-size worker pool for round-level work-sharing.
+// It exists so a maintainer that repairs thousands of small batches does
+// not pay goroutine startup per round: the workers are spawned once and
+// parked on a channel between rounds.
+//
+// Concurrency contract: a Pool is driven by one goroutine at a time —
+// Run and Close must not be called concurrently. The function passed to
+// Run is called from multiple goroutines at once (worker-pool-safe code
+// only); Run returns only after every invocation has finished, so
+// per-worker results written under distinct ids are safe to read
+// afterwards without further synchronization.
+type Pool struct {
+	n      int
+	tasks  chan poolTask
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type poolTask struct {
+	f  func(id int)
+	id int
+}
+
+// NewPool starts n-1 parked worker goroutines (the driver doubles as
+// worker 0, so n total run during a Run call). n must be >= 1.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{n: n, tasks: make(chan poolTask)}
+	for i := 1; i < n; i++ {
+		go p.worker(p.tasks)
+	}
+	return p
+}
+
+func (p *Pool) worker(tasks <-chan poolTask) {
+	for t := range tasks {
+		t.f(t.id)
+		p.wg.Done()
+	}
+}
+
+// Size returns the pool's worker count n.
+func (p *Pool) Size() int { return p.n }
+
+// Run invokes f(0) … f(k-1) concurrently across the pool and waits for
+// all of them. f(0) runs inline on the calling goroutine, so a Run with
+// k == 1 never leaves the caller. k must be <= Size.
+func (p *Pool) Run(k int, f func(id int)) {
+	if k <= 1 {
+		if k == 1 {
+			f(0)
+		}
+		return
+	}
+	p.wg.Add(k - 1)
+	for i := 1; i < k; i++ {
+		p.tasks <- poolTask{f: f, id: i}
+	}
+	f(0)
+	p.wg.Wait()
+}
+
+// Close releases the pool's worker goroutines. The pool must be idle (no
+// Run in flight); after Close the pool must not be used again.
+func (p *Pool) Close() {
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+}

@@ -66,6 +66,12 @@ func (s *ssspServeable) Snapshot() any {
 }
 func (s *ssspServeable) SetTracer(t fixpoint.Tracer) { s.inc.SetTracer(t) }
 
+// SetWorkers and ParStats forward the parallel execution mode to the
+// current inner maintainer (Recompute replaces it, so the host re-applies
+// the setting after a heal).
+func (s *ssspServeable) SetWorkers(n int)            { s.inc.SetWorkers(n) }
+func (s *ssspServeable) ParStats() fixpoint.ParStats { return s.inc.ParStats() }
+
 // ssspState is the gob envelope of PersistState: the distances are
 // IncSSSP's complete incremental state (deducible; <_C is distance
 // order).
@@ -88,10 +94,22 @@ type statser interface{ Stats() fixpoint.Stats }
 
 // statsDelta runs one Apply on a stats-exposing maintainer and packages
 // the affected count with the counter delta attributable to that apply.
+// Maintainers that also expose parallel-drain counters and have workers
+// configured additionally report the per-apply ParStats delta.
 func statsDelta(m statser, apply func() int) ApplyResult {
 	before := m.Stats()
+	var parBefore fixpoint.ParStats
+	ps, hasPar := m.(parStatser)
+	if hasPar {
+		parBefore = ps.ParStats()
+	}
 	aff := apply()
-	return ApplyResult{Affected: aff, Stats: m.Stats().Sub(before), HasStats: true}
+	res := ApplyResult{Affected: aff, Stats: m.Stats().Sub(before), HasStats: true}
+	if hasPar {
+		res.Par = ps.ParStats().Sub(parBefore)
+		res.HasPar = res.Par.Workers > 1
+	}
+	return res
 }
 
 // CCView is the published snapshot of a connected-components maintainer.
@@ -115,6 +133,11 @@ func (s *ccServeable) Snapshot() any {
 	return CCView{Labels: append([]int64(nil), s.inc.Labels()...)}
 }
 func (s *ccServeable) SetTracer(t fixpoint.Tracer) { s.inc.SetTracer(t) }
+
+// SetWorkers and ParStats forward the parallel execution mode to the
+// current inner maintainer.
+func (s *ccServeable) SetWorkers(n int)            { s.inc.SetWorkers(n) }
+func (s *ccServeable) ParStats() fixpoint.ParStats { return s.inc.ParStats() }
 
 // ccState is the gob envelope of PersistState: labels plus the engine's
 // timestamps and clock, which carry the anchor order <_C across a

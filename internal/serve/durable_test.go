@@ -6,8 +6,10 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -26,6 +28,15 @@ func snapshotEqual(a, b any) bool { return reflect.DeepEqual(a, b) }
 
 func jsonDecode(r io.Reader, v any) error { return json.NewDecoder(r).Decode(v) }
 
+// testWorkers reads the INCGRAPH_TEST_WORKERS knob, letting CI rerun the
+// durable end-to-end tests with the maintainers' parallel mode on (the
+// crash-recovery equivalence must hold for any worker count). 0 — the
+// default — keeps the maintainers sequential.
+func testWorkers() int {
+	n, _ := strconv.Atoi(os.Getenv("INCGRAPH_TEST_WORKERS"))
+	return n
+}
+
 // openDurableService builds a service hosting sssp and cc on clones of
 // base, with the durable ingest path in dir.
 func openDurableService(t *testing.T, base *graph.Graph, dir string, dopt DurableOptions) (*Service, *Durable) {
@@ -35,10 +46,11 @@ func openDurableService(t *testing.T, base *graph.Graph, dir string, dopt Durabl
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Host(SSSP(sssp.NewInc(base.Clone(), 0), 0), Options{MaxBatch: 16, MaxWait: time.Millisecond}); err != nil {
+	opt := Options{MaxBatch: 16, MaxWait: time.Millisecond, Workers: testWorkers()}
+	if _, err := svc.Host(SSSP(sssp.NewInc(base.Clone(), 0), 0), opt); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Host(CC(cc.NewInc(base.Clone())), Options{MaxBatch: 16, MaxWait: time.Millisecond}); err != nil {
+	if _, err := svc.Host(CC(cc.NewInc(base.Clone())), opt); err != nil {
 		t.Fatal(err)
 	}
 	return svc, d

@@ -84,6 +84,13 @@ type ApplyResult struct {
 	// DFS, LCC, and BC use specialized repair machinery without the
 	// generic engine and report only Affected.
 	HasStats bool
+	// Par is the per-apply parallel-drain counter delta (rounds
+	// partitioned across workers, worker busy time, imbalance);
+	// meaningful only when HasPar is set — a maintainer running with
+	// two or more workers configured.
+	Par fixpoint.ParStats
+	// HasPar reports whether Par carries parallel-mode counters.
+	HasPar bool
 }
 
 // ApplyTrace is one entry of a host's bounded ring of recent applies —
@@ -112,6 +119,9 @@ type ApplyTrace struct {
 	// Inspected is the per-apply variable-inspection count (engine-based
 	// maintainers only).
 	Inspected int64 `json:"inspected"`
+	// ParRounds is how many of this apply's propagation rounds were
+	// partitioned across workers (parallel-mode maintainers only).
+	ParRounds int64 `json:"par_rounds,omitempty"`
 	// UnixNanos timestamps the apply's completion.
 	UnixNanos int64 `json:"unix_nanos"`
 	// TraceID is the W3C trace ID of the first traced submission merged
@@ -188,6 +198,17 @@ type Stats struct {
 	// Fixpoint aggregates the maintainer's per-apply cost-counter deltas
 	// (engine-based maintainers only; ScopeSize is the last apply's |H⁰|).
 	Fixpoint fixpoint.Stats `json:"fixpoint"`
+	// Workers is the worker count configured for the maintainer's
+	// parallel execution mode; 0 when the maintainer runs sequentially
+	// (or does not support the mode).
+	Workers int `json:"workers,omitempty"`
+	// Par aggregates the maintainer's per-apply parallel-drain deltas
+	// (partitioned rounds, worker busy time, the work-imbalance gauges);
+	// zero-valued for sequential maintainers.
+	Par fixpoint.ParStats `json:"par,omitzero"`
+	// WorkerUtilization is Par's cumulative pool utilization,
+	// BusyNanos/(Workers×WallNanos), in [0,1]; 0 while sequential.
+	WorkerUtilization float64 `json:"worker_utilization,omitempty"`
 }
 
 // Options tune a host's batching behaviour.
@@ -230,6 +251,14 @@ type Options struct {
 	// instead of restarting the stream at zero.
 	BaseEpoch   uint64
 	BaseBatches uint64
+	// Workers configures the maintainer's parallel execution mode: with
+	// n >= 2 the host asks the maintainer (if it supports SetWorkers —
+	// SSSP and CC do) to partition each repair round's frontier across n
+	// workers, re-applying the setting after a heal recompute rebuilds
+	// the maintainer. 0 or 1 leaves the maintainer sequential. The
+	// worker pool is internal to the maintainer; the host's single-writer
+	// apply loop still blocks until each repair completes.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -271,6 +300,18 @@ type submission struct {
 // accept a span hook, driven from the host's apply loop.
 type tracerSetter interface{ SetTracer(fixpoint.Tracer) }
 
+// workersSetter is the optional Serveable extension for the parallel
+// execution mode: maintainers that can partition repair rounds across a
+// worker pool accept a worker count. Called only from host construction
+// and the apply loop (heal re-install), honoring the maintainers'
+// single-writer contract.
+type workersSetter interface{ SetWorkers(int) }
+
+// parStatser is the optional Serveable extension exposing cumulative
+// parallel-drain counters, snapshotted around each Apply to produce
+// per-batch deltas.
+type parStatser interface{ ParStats() fixpoint.ParStats }
+
 // hostMetrics are a host's registry handles, resolved once at
 // construction so the apply loop only touches lock-free atomics.
 type hostMetrics struct {
@@ -295,6 +336,12 @@ type hostMetrics struct {
 	panics   *obs.Counter
 	heals    *obs.Counter
 	degraded *obs.Gauge
+
+	workersG    *obs.Gauge
+	parRounds   *obs.Counter
+	seqRounds   *obs.Counter
+	utilization *obs.Gauge
+	imbalance   *obs.Gauge
 }
 
 func newHostMetrics(r *obs.Registry, algo string) hostMetrics {
@@ -318,6 +365,11 @@ func newHostMetrics(r *obs.Registry, algo string) hostMetrics {
 		panics:          r.Counter("incgraph_apply_panics_total", "Maintainer panics recovered by the apply loop.", l),
 		heals:           r.Counter("incgraph_heals_total", "Successful batch-recompute heals after a recovered panic.", l),
 		degraded:        r.Gauge("incgraph_degraded", "1 while the host serves a stale snapshot after a panic.", l),
+		workersG:        r.Gauge("incgraph_fixpoint_workers", "Configured worker count for the maintainer's parallel mode (0 = sequential).", l),
+		parRounds:       r.Counter("incgraph_par_rounds_total", "Propagation rounds whose frontier was partitioned across workers.", l),
+		seqRounds:       r.Counter("incgraph_par_seq_rounds_total", "Rounds run inline because the frontier was below the partition threshold.", l),
+		utilization:     r.Gauge("incgraph_worker_utilization", "Last apply's worker-pool utilization, busy/(workers×wall), in [0,1].", l),
+		imbalance:       r.Gauge("incgraph_worker_imbalance", "Last partitioned round's work imbalance, busiest×workers/total (1 = even).", l),
 	}
 }
 
@@ -401,6 +453,13 @@ func NewHost(m Serveable, opt Options) *Host {
 	h.start = time.Now()
 	h.met = newHostMetrics(h.opt.Registry, h.algo)
 	h.traces = obs.NewRing[ApplyTrace](h.opt.Trace)
+	if h.opt.Workers > 1 {
+		if ws, ok := m.(workersSetter); ok {
+			ws.SetWorkers(h.opt.Workers)
+			h.stats.Workers = h.opt.Workers
+			h.met.workersG.Set(float64(h.opt.Workers))
+		}
+	}
 	if h.opt.Recorder != nil {
 		h.rec = h.opt.Recorder
 		h.track = h.rec.Track(h.algo)
@@ -723,6 +782,10 @@ func (h *Host) apply(raw graph.Batch, oldest time.Time, tid trace.TraceID) {
 	if res.HasStats {
 		h.stats.Fixpoint = h.stats.Fixpoint.Add(res.Stats)
 	}
+	if res.HasPar {
+		h.stats.Par = h.stats.Par.Add(res.Par)
+		h.stats.WorkerUtilization = h.stats.Par.Utilization()
+	}
 	epoch, batches := h.stats.Epoch, h.stats.BatchesApplied
 	h.statMu.Unlock()
 
@@ -782,6 +845,15 @@ func (h *Host) apply(raw graph.Batch, oldest time.Time, tid trace.TraceID) {
 		tr.HNanos = int64(res.Stats.HSeconds * 1e9)
 		tr.ResumeNanos = int64(res.Stats.ResumeSeconds * 1e9)
 		tr.Inspected = res.Stats.Inspected()
+	}
+	if res.HasPar {
+		m.parRounds.Add(float64(res.Par.ParRounds))
+		m.seqRounds.Add(float64(res.Par.SeqRounds))
+		m.utilization.Set(res.Par.Utilization())
+		if res.Par.ParRounds > 0 {
+			m.imbalance.Set(res.Par.LastImbalance)
+		}
+		tr.ParRounds = res.Par.ParRounds
 	}
 	h.traces.Push(tr)
 	if h.opt.OnApply != nil {
@@ -889,6 +961,13 @@ func (h *Host) absorbPanic(raw graph.Batch, pval any) {
 			if h.engTracer != nil {
 				if ts, tok := h.m.(tracerSetter); tok {
 					ts.SetTracer(h.engTracer)
+				}
+			}
+			// Likewise the parallel mode: heal-by-recompute rebuilds the
+			// inner maintainer, dropping its worker pool.
+			if h.opt.Workers > 1 {
+				if ws, wok := h.m.(workersSetter); wok {
+					ws.SetWorkers(h.opt.Workers)
 				}
 			}
 			data = h.m.Snapshot()

@@ -47,6 +47,16 @@ type Inc struct {
 	pending graph.Batch
 	stats   fixpoint.Stats
 	tracer  fixpoint.Tracer
+
+	// Parallel resume mode (see parallel.go). Zero-valued for sequential
+	// maintainers, so the default path allocates nothing extra.
+	workers    int
+	pool       *fixpoint.Pool
+	ws         []ssspWorker
+	parts      []ssspPart
+	frontier   []graph.NodeID
+	parRelaxFn func(int)
+	par        fixpoint.ParStats
 }
 
 // NewInc runs Dijkstra and returns the incremental algorithm positioned
@@ -211,22 +221,26 @@ func (i *Inc) Repair() int {
 			relax(up.To, up.From, up.W)
 		}
 	}
-	for {
-		x, ok := i.wq.Pop()
-		if !ok {
-			break
-		}
-		i.stats.Pops++
-		v := graph.NodeID(x)
-		dv := i.dist[v]
-		if dv >= Infinity {
-			continue
-		}
-		for _, e := range i.g.Out(v) {
-			i.stats.Updates++
-			if alt := dv + e.W; alt < i.dist[e.To] {
-				i.dist[e.To] = alt
-				i.wq.AddOrAdjust(int32(e.To))
+	if i.workers > 1 {
+		i.drainParallel()
+	} else {
+		for {
+			x, ok := i.wq.Pop()
+			if !ok {
+				break
+			}
+			i.stats.Pops++
+			v := graph.NodeID(x)
+			dv := i.dist[v]
+			if dv >= Infinity {
+				continue
+			}
+			for _, e := range i.g.Out(v) {
+				i.stats.Updates++
+				if alt := dv + e.W; alt < i.dist[e.To] {
+					i.dist[e.To] = alt
+					i.wq.AddOrAdjust(int32(e.To))
+				}
 			}
 		}
 	}

@@ -52,6 +52,7 @@ const (
 	SyncNever
 )
 
+// String returns the policy's flag spelling ("always", "interval", "never").
 func (p SyncPolicy) String() string {
 	switch p {
 	case SyncAlways:
