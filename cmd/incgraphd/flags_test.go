@@ -66,3 +66,44 @@ func TestFlagDefaults(t *testing.T) {
 		t.Fatalf("workers default %q, want 0 (sequential)", fs.Lookup("workers").DefValue)
 	}
 }
+
+// TestValidateFlags is the table-driven contract for conflicting-mode
+// rejection: combinations that parse but cannot mean anything must be
+// refused before any graph is loaded or listener bound.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // "" means valid
+	}{
+		{"defaults", nil, ""},
+		{"negative workers", []string{"-workers", "-1"}, "-workers"},
+		{"negative shards", []string{"-shards", "-2"}, "-shards"},
+		{"shard-id without shards", []string{"-shard-id", "0"}, "set together"},
+		{"shards without shard-id", []string{"-shards", "2"}, "set together"},
+		{"shard-id out of range", []string{"-shard-id", "2", "-shards", "2"}, "out of range"},
+		{"valid shard mode", []string{"-shard-id", "1", "-shards", "2"}, ""},
+		{"replica without data-dir", []string{"-replica-of", "http://primary:8356"}, "-data-dir"},
+		{"valid replica", []string{"-replica-of", "http://primary:8356", "-data-dir", "/tmp/r"}, ""},
+		{"sharded replica", []string{"-replica-of", "http://p:1", "-data-dir", "/tmp/r", "-shard-id", "0", "-shards", "2"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("incgraphd", flag.ContinueOnError)
+			c := newFlags(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			err := validateFlags(c)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid combination rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -12,6 +12,9 @@
 //	incgraphd -graph g.txt -algos cc -access-log
 //	incgraphd -graph g.txt -algos sssp,cc -data-dir /var/lib/incgraph
 //	incgraphd -graph g.txt -algos sssp,cc -workers 4
+//	incgraphd -graph g.txt -algos sssp,cc -shard-id 0 -shards 2 -data-dir d0
+//	incgraphd -graph g.txt -algos sssp,cc -shard-id 0 -shards 2 \
+//	    -replica-of http://127.0.0.1:8356 -data-dir d0r
 //
 // The full flag reference lives in README.md ("incgraphd flag
 // reference"); a test diffs that table against the flag definitions here,
@@ -62,10 +65,30 @@
 // kill -9 at any moment therefore loses nothing acknowledged under
 // -fsync always, and restart reproduces exactly the from-scratch answers
 // over the durable prefix.
+//
+// With -shard-id i -shards n the daemon serves one fragment of a
+// partitioned deployment: it keeps only the edges the hash partitioner
+// assigns to shard i (all node ids remain valid), answers /query over
+// its fragment, and mounts the shard-side exchange API (/shard/info,
+// /shard/eval/{algo}) that the incrouter front-end drives cross-shard
+// answers through. With -data-dir the fragment's WAL is additionally
+// exposed under /wal/ for log-shipping replicas.
+//
+// With -replica-of URL the daemon is a warm replica: it continuously
+// ships the primary's WAL segments into its own -data-dir (required)
+// and replays every record through the recovery path, staying one poll
+// interval behind. It serves only /healthz, /shard/info and
+// /replica/status until POST /replica/promote, which seals the follower
+// loop, hosts the replayed maintainers at the shipped stream position,
+// opens the local WAL for writing, and atomically swaps in the full
+// serving API. Replication is asynchronous: updates the primary
+// acknowledged but had not shipped are lost on promotion, which the
+// epoch vector makes visible to the router.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	_ "expvar" // registers /debug/vars on the -debug-addr listener
 	"flag"
@@ -76,10 +99,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"incgraph"
+	"incgraph/internal/shard"
 )
 
 // cliFlags holds every incgraphd flag value. newFlags registers the
@@ -113,6 +139,10 @@ type cliFlags struct {
 	fsyncInterval time.Duration
 	ckptEvery     int
 	verifyRec     bool
+
+	shardID   int
+	shards    int
+	replicaOf string
 }
 
 // newFlags defines the daemon's flags on fs and returns the struct their
@@ -145,40 +175,53 @@ func newFlags(fs *flag.FlagSet) *cliFlags {
 	fs.DurationVar(&c.fsyncInterval, "fsync-interval", 5*time.Millisecond, "fsync cadence under -fsync interval")
 	fs.IntVar(&c.ckptEvery, "checkpoint-every", 1024, "checkpoint after this many ingested batches (0: only on shutdown)")
 	fs.BoolVar(&c.verifyRec, "verify-recovery", true, "verify recovered answers against a batch recompute on startup")
+
+	fs.IntVar(&c.shardID, "shard-id", -1, "serve one fragment of a partitioned deployment: this daemon's shard id (requires -shards)")
+	fs.IntVar(&c.shards, "shards", 0, "total shard count of the partitioned deployment (with -shard-id)")
+	fs.StringVar(&c.replicaOf, "replica-of", "", "run as a warm replica of the primary at this base URL, shipping and replaying its WAL (requires -data-dir)")
 	return c
+}
+
+// validateFlags rejects flag combinations that parse but cannot mean
+// anything, before any graph is loaded or listener bound. main exits 2
+// (usage) on a validation error, so misconfiguration is distinguishable
+// from runtime failure.
+func validateFlags(c *cliFlags) error {
+	if c.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", c.workers)
+	}
+	if c.shards < 0 {
+		return fmt.Errorf("-shards must be >= 1, got %d", c.shards)
+	}
+	if (c.shardID >= 0) != (c.shards > 0) {
+		return fmt.Errorf("-shard-id and -shards must be set together (got -shard-id %d, -shards %d)", c.shardID, c.shards)
+	}
+	if c.shards > 0 && c.shardID >= c.shards {
+		return fmt.Errorf("-shard-id %d out of range for -shards %d", c.shardID, c.shards)
+	}
+	if c.replicaOf != "" && c.dataDir == "" {
+		return fmt.Errorf("-replica-of requires -data-dir (the shipped WAL needs a home)")
+	}
+	return nil
 }
 
 func main() {
 	c := newFlags(flag.CommandLine)
 	flag.Parse()
+	if err := validateFlags(c); err != nil {
+		fmt.Fprintln(os.Stderr, "incgraphd:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	logger, err := newLogger(c.logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "incgraphd:", err)
 		os.Exit(2)
 	}
-	dur := durabilityConfig{
-		dataDir:       c.dataDir,
-		fsync:         c.fsync,
-		fsyncInterval: c.fsyncInterval,
-		ckptEvery:     c.ckptEvery,
-		verify:        c.verifyRec,
-	}
-	if err := run(logger, c.listen, c.debugAddr, c.graphPath, c.algos, c.pattern, c.genKind,
-		incgraph.NodeID(c.src), c.genSeed, c.genNodes, c.genDeg, c.genDirect, c.accessLog,
-		incgraph.ServeOptions{MaxBatch: c.maxBatch, MaxWait: c.maxWait, Queue: c.queue, Workers: c.workers},
-		dur); err != nil {
+	if err := run(logger, c); err != nil {
 		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
-}
-
-// durabilityConfig carries the -data-dir flag family into run.
-type durabilityConfig struct {
-	dataDir       string
-	fsync         string
-	fsyncInterval time.Duration
-	ckptEvery     int
-	verify        bool
 }
 
 // newLogger builds the process logger at the requested level, writing
@@ -191,29 +234,24 @@ func newLogger(level string) (*slog.Logger, error) {
 	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
-func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, genKind string,
-	src incgraph.NodeID, seed int64, nodes, deg int, directed, accessLog bool,
-	opt incgraph.ServeOptions, dur durabilityConfig) error {
-	if algos == "" {
-		return fmt.Errorf("missing -algos (e.g. -algos sssp,cc)")
-	}
-	base, err := loadGraph(graphPath, genKind, seed, nodes, deg, directed)
-	if err != nil {
-		return err
-	}
-	var pat *incgraph.Graph
-	if patternPath != "" {
-		f, err := os.Open(patternPath)
-		if err != nil {
-			return err
-		}
-		pat, err = incgraph.ReadGraph(f)
-		f.Close()
-		if err != nil {
-			return err
+// parseAlgos splits the -algos list, dropping empty entries.
+func parseAlgos(algos string) ([]string, error) {
+	var out []string
+	for _, algo := range strings.Split(algos, ",") {
+		if algo = strings.TrimSpace(algo); algo != "" {
+			out = append(out, algo)
 		}
 	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("missing -algos (e.g. -algos sssp,cc)")
+	}
+	return out, nil
+}
 
+// serveOptions assembles the host options from the flags, wiring the
+// apply debug log.
+func serveOptions(logger *slog.Logger, c *cliFlags) incgraph.ServeOptions {
+	opt := incgraph.ServeOptions{MaxBatch: c.maxBatch, MaxWait: c.maxWait, Queue: c.queue, Workers: c.workers}
 	// Every apply is traced through this hook at debug level: host, epoch,
 	// batch size, coalescing, |AFF|, and the latency split — the same
 	// fields /debug/applies retains.
@@ -228,12 +266,48 @@ func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, 
 			"queue_wait", time.Duration(t.QueueWaitNanos),
 			"trace", t.TraceID)
 	}
+	return opt
+}
 
-	var algoList []string
-	for _, algo := range strings.Split(algos, ",") {
-		if algo = strings.TrimSpace(algo); algo != "" {
-			algoList = append(algoList, algo)
+func run(logger *slog.Logger, c *cliFlags) error {
+	algoList, err := parseAlgos(c.algos)
+	if err != nil {
+		return err
+	}
+	base, err := loadGraph(c.graphPath, c.genKind, c.genSeed, c.genNodes, c.genDeg, c.genDirect)
+	if err != nil {
+		return err
+	}
+	var pat *incgraph.Graph
+	if c.pattern != "" {
+		f, err := os.Open(c.pattern)
+		if err != nil {
+			return err
 		}
+		pat, err = incgraph.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	// Shard mode: the daemon serves one fragment. Filtering keeps every
+	// node id valid (views stay globally indexed) but drops edges owned
+	// by other shards; the partitioner here must match the router's.
+	var part shard.Partitioner
+	if c.shards > 0 {
+		if part, err = shard.NewPartitioner("hash", c.shards); err != nil {
+			return err
+		}
+		full := base.NumEdges()
+		base = shard.FilterGraph(base, part, c.shardID)
+		logger.Info("sharded", "shard", c.shardID, "shards", c.shards,
+			"fragment_edges", base.NumEdges(), "full_edges", full)
+	}
+
+	opt := serveOptions(logger, c)
+	if c.replicaOf != "" {
+		return runReplica(logger, c, base, pat, part, algoList, opt)
 	}
 
 	svc := incgraph.NewService()
@@ -244,9 +318,8 @@ func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, 
 	// incremental Apply path, verify against batch recompute, and only
 	// then start the apply loops at the recovered stream position.
 	var rec *incgraph.Recovery
-	if dur.dataDir != "" {
-		var err error
-		if rec, err = incgraph.LoadRecovery(dur.dataDir); err != nil {
+	if c.dataDir != "" {
+		if rec, err = incgraph.LoadRecovery(c.dataDir); err != nil {
 			return fmt.Errorf("recovery: %w", err)
 		}
 	}
@@ -262,7 +335,7 @@ func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, 
 				g, restored = ra.Graph, true
 			}
 		}
-		m, err := buildServeable(algo, g, src, pat)
+		m, err := buildServeable(algo, g, incgraph.NodeID(c.src), pat)
 		if err != nil {
 			svc.Close()
 			return err
@@ -284,17 +357,17 @@ func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, 
 			return fmt.Errorf("recovery: replay: %w", err)
 		}
 		var divergent []string
-		if dur.verify {
+		if c.verifyRec {
 			divergent = incgraph.VerifyRecovered(targets, svc.Recorder())
 			if len(divergent) > 0 {
 				logger.Warn("recovery: replayed state diverged from batch recompute; repaired",
 					"algos", strings.Join(divergent, ","))
 			}
 		}
-		logger.Info("recovered", "dir", dur.dataDir,
+		logger.Info("recovered", "dir", c.dataDir,
 			"checkpoint_epoch", rec.CheckpointEpoch, "replayed_records", replayed,
 			"divergent", len(divergent))
-		policy, err := incgraph.ParseSyncPolicy(dur.fsync)
+		policy, err := incgraph.ParseSyncPolicy(c.fsync)
 		if err != nil {
 			return err
 		}
@@ -306,9 +379,9 @@ func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, 
 				return err
 			}
 		}
-		if d, err = incgraph.OpenDurable(svc, dur.dataDir, incgraph.DurableOptions{
-			WAL:             incgraph.WALOptions{Policy: policy, Interval: dur.fsyncInterval},
-			CheckpointEvery: dur.ckptEvery,
+		if d, err = incgraph.OpenDurable(svc, c.dataDir, incgraph.DurableOptions{
+			WAL:             incgraph.WALOptions{Policy: policy, Interval: c.fsyncInterval},
+			CheckpointEvery: c.ckptEvery,
 		}); err != nil {
 			svc.Close()
 			return err
@@ -323,28 +396,37 @@ func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, 
 		}
 	}
 
-	if debugAddr != "" {
+	// Shard-mode daemons expose the exchange API the router drives, and
+	// (when durable) the WAL stream a log-shipping replica follows.
+	if part != nil {
+		shard.MountShardAPI(svc, part, c.shardID, base.NumNodes(), base.Directed(), nil)
+	}
+	if d != nil {
+		svc.Mount("/wal/", http.StripPrefix("/wal", d.Log().StreamHandler()))
+	}
+
+	if c.debugAddr != "" {
 		// pprof and expvar registered themselves on the default mux via
 		// their imports; serve it on the side listener only.
 		go func() {
-			logger.Info("debug listener", "addr", debugAddr)
-			if err := http.ListenAndServe(debugAddr, http.DefaultServeMux); err != nil {
+			logger.Info("debug listener", "addr", c.debugAddr)
+			if err := http.ListenAndServe(c.debugAddr, http.DefaultServeMux); err != nil {
 				logger.Error("debug listener failed", "err", err)
 			}
 		}()
 	}
 
 	handler := svc.Handler()
-	if accessLog {
+	if c.accessLog {
 		handler = incgraph.AccessLog(logger, handler)
 	}
-	srv := &http.Server{Addr: listen, Handler: handler}
+	srv := &http.Server{Addr: c.listen, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("serving", "nodes", base.NumNodes(), "edges", base.NumEdges(), "addr", listen)
+		logger.Info("serving", "nodes", base.NumNodes(), "edges", base.NumEdges(), "addr", c.listen)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -396,6 +478,215 @@ func run(logger *slog.Logger, listen, debugAddr, graphPath, algos, patternPath, 
 			"last_apply", time.Duration(st.LastApplyNanos).Round(time.Microsecond))
 	}
 	return nil
+}
+
+// runReplica is the warm-replica mode: ship the primary's WAL into the
+// local data directory, replay it continuously into un-hosted
+// maintainers, and serve only health/status endpoints until promotion
+// swaps in the full serving API.
+func runReplica(logger *slog.Logger, c *cliFlags, base *incgraph.Graph, pat *incgraph.Graph,
+	part shard.Partitioner, algoList []string, opt incgraph.ServeOptions) error {
+	// Bootstrap: pull the primary's checkpoint and segment bytes before
+	// recovery, so a replica started late still begins from the newest
+	// durable cut instead of replaying from genesis. Best effort — a
+	// briefly unreachable primary just means starting from local state.
+	if err := os.MkdirAll(c.dataDir, 0o755); err != nil {
+		return fmt.Errorf("replica data dir: %w", err)
+	}
+	hc := &http.Client{Timeout: 30 * time.Second}
+	var pullErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_, pullErr = shard.PullWAL(ctx, hc, c.replicaOf, c.dataDir)
+		cancel()
+		if pullErr == nil {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	if pullErr != nil {
+		logger.Warn("replica bootstrap: primary unreachable; starting from local state", "err", pullErr)
+	}
+	rec, err := incgraph.LoadRecovery(c.dataDir)
+	if err != nil {
+		return fmt.Errorf("replica recovery: %w", err)
+	}
+	targets := make(map[string]incgraph.Serveable, len(algoList))
+	baseEpochs := make(map[string]uint64, len(algoList))
+	baseBatches := make(map[string]uint64, len(algoList))
+	for _, algo := range algoList {
+		g := base.Clone()
+		if ra, ok := rec.Algos[algo]; ok {
+			g = ra.Graph
+		}
+		m, err := buildServeable(algo, g, incgraph.NodeID(c.src), pat)
+		if err != nil {
+			return err
+		}
+		if err := rec.Restore(algo, m); err != nil {
+			return fmt.Errorf("replica restore %s: %w", algo, err)
+		}
+		targets[algo] = m
+		ra := rec.Algos[algo]
+		baseEpochs[algo], baseBatches[algo] = ra.Epoch, ra.Batches
+	}
+	follower := shard.NewFollower(shard.FollowerOptions{
+		Source:      c.replicaOf,
+		Dir:         c.dataDir,
+		Targets:     targets,
+		ReplayFrom:  rec.ReplayFrom,
+		BaseEpochs:  baseEpochs,
+		BaseBatches: baseBatches,
+		Client:      hc,
+		Logf: func(format string, args ...any) {
+			logger.Debug(fmt.Sprintf(format, args...))
+		},
+	})
+	go follower.Run()
+	logger.Info("following", "primary", c.replicaOf, "dir", c.dataDir,
+		"replay_from", rec.ReplayFrom, "checkpoint_epoch", rec.CheckpointEpoch)
+
+	svc := incgraph.NewService()
+	var promoted atomic.Bool
+	var handler atomic.Value // http.Handler: replica mux, then the full API
+
+	// pstate carries what promotion creates across to the shutdown path.
+	var pstate struct {
+		sync.Mutex
+		d *incgraph.Durable
+	}
+
+	promote := func() (map[string]uint64, error) {
+		// Seal the follower: after Stop the targets reflect every shipped
+		// record and nothing else writes them, so hosting them at the
+		// follower's stream position is a consistent handoff.
+		follower.Stop()
+		epochs, batches := follower.Epochs(), follower.Batches()
+		if c.verifyRec {
+			if divergent := incgraph.VerifyRecovered(targets, svc.Recorder()); len(divergent) > 0 {
+				logger.Warn("promotion: replayed state diverged from batch recompute; repaired",
+					"algos", strings.Join(divergent, ","))
+			}
+		}
+		for _, algo := range algoList {
+			o := opt
+			o.BaseEpoch, o.BaseBatches = epochs[algo], batches[algo]
+			if _, err := svc.Host(targets[algo], o); err != nil {
+				return nil, err
+			}
+		}
+		policy, err := incgraph.ParseSyncPolicy(c.fsync)
+		if err != nil {
+			return nil, err
+		}
+		// OpenDurable truncates the shipped WAL's torn tail frame (if the
+		// primary died mid-ship) and appends after it — the replica's log
+		// is now the authoritative continuation.
+		d, err := incgraph.OpenDurable(svc, c.dataDir, incgraph.DurableOptions{
+			WAL:             incgraph.WALOptions{Policy: policy, Interval: c.fsyncInterval},
+			CheckpointEvery: c.ckptEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pstate.Lock()
+		pstate.d = d
+		pstate.Unlock()
+		if part != nil {
+			shard.MountShardAPI(svc, part, c.shardID, base.NumNodes(), base.Directed(), func() bool { return false })
+		}
+		svc.Mount("/wal/", http.StripPrefix("/wal", d.Log().StreamHandler()))
+		full := svc.Handler()
+		if c.accessLog {
+			full = incgraph.AccessLog(logger, full)
+		}
+		handler.Store(full)
+		logger.Info("promoted", "epochs", fmt.Sprint(epochs))
+		return epochs, nil
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /replica/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, follower.Status())
+	})
+	mux.HandleFunc("GET /shard/info", func(w http.ResponseWriter, r *http.Request) {
+		info := shard.Info{Nodes: base.NumNodes(), Directed: base.Directed(), Replica: true, Epochs: follower.Epochs()}
+		if part != nil {
+			info.Shard, info.Shards, info.Partitioner = c.shardID, part.Shards(), part.Name()
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /replica/promote", func(w http.ResponseWriter, r *http.Request) {
+		if !promoted.CompareAndSwap(false, true) {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": "already promoted"})
+			return
+		}
+		epochs, err := promote()
+		if err != nil {
+			logger.Error("promotion failed", "err", err)
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"epochs": epochs})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": "warm replica: not serving until POST /replica/promote"})
+	})
+	handler.Store(http.Handler(mux))
+
+	srv := &http.Server{Addr: c.listen, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("replica serving", "addr", c.listen, "primary", c.replicaOf)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		follower.Stop()
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("replica shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Warn("http shutdown", "err", err)
+	}
+	follower.Stop()
+	pstate.Lock()
+	d := pstate.d
+	pstate.Unlock()
+	if d != nil {
+		if err := d.Checkpoint(); err != nil {
+			logger.Warn("checkpoint on drain", "err", err)
+		}
+	}
+	svc.Close()
+	if d != nil {
+		if err := d.Close(); err != nil {
+			logger.Warn("wal close", "err", err)
+		}
+	}
+	return nil
+}
+
+// writeJSON writes v as JSON with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
 }
 
 func loadGraph(path, genKind string, seed int64, nodes, deg int, directed bool) (*incgraph.Graph, error) {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestValidateRouterFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // "" means valid
+	}{
+		{"no topology", nil, "-shard-addrs"},
+		{"static addrs", []string{"-shard-addrs", "http://a,http://b"}, ""},
+		{"spawn without data-root", []string{"-spawn", "-gen", "powerlaw"}, "-data-root"},
+		{"spawn without graph", []string{"-spawn", "-data-root", "/tmp/x"}, "-graph or -gen"},
+		{"spawn zero shards", []string{"-spawn", "-shards", "0", "-data-root", "/tmp/x", "-gen", "powerlaw"}, "-shards"},
+		{"spawn two replicas", []string{"-spawn", "-replicas", "2", "-data-root", "/tmp/x", "-gen", "powerlaw"}, "-replicas"},
+		{"spawn ok", []string{"-spawn", "-replicas", "1", "-data-root", "/tmp/x", "-gen", "powerlaw"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("incrouter", flag.ContinueOnError)
+			c := newRouterFlags(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			err := validateRouterFlags(c)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid combination rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestChildSpecs pins the spawn layout: shard i on base+2i, its replica
+// on base+2i+1 pointed at the primary, all durable under -data-root.
+func TestChildSpecs(t *testing.T) {
+	c := &routerFlags{
+		spawn: true, incgraphd: "/bin/incgraphd", shards: 2, replicas: 1,
+		basePort: 9000, dataRoot: "/data", fsync: "always",
+		algos: "sssp,cc", genKind: "powerlaw", genNodes: 10, genDeg: 2, genSeed: 1,
+	}
+	specs, primaries := childSpecs(c)
+	if len(specs) != 4 || len(primaries) != 2 {
+		t.Fatalf("got %d specs, %d primaries", len(specs), len(primaries))
+	}
+	if primaries[1] != "http://127.0.0.1:9002" {
+		t.Fatalf("primary 1 at %q", primaries[1])
+	}
+	byName := map[string]ProcSpecLite{}
+	for _, s := range specs {
+		byName[s.Name] = ProcSpecLite{Shard: s.Shard, Replica: s.Replica, Addr: s.Addr, Argv: strings.Join(s.Argv, " ")}
+	}
+	r1, ok := byName["shard1-replica"]
+	if !ok || !r1.Replica || r1.Shard != 1 || r1.Addr != "http://127.0.0.1:9003" {
+		t.Fatalf("shard1-replica spec %+v", r1)
+	}
+	if !strings.Contains(r1.Argv, "-replica-of http://127.0.0.1:9002") {
+		t.Fatalf("replica argv does not follow its primary: %s", r1.Argv)
+	}
+	if !strings.Contains(r1.Argv, "-data-dir /data/shard-1-replica") {
+		t.Fatalf("replica argv missing data dir: %s", r1.Argv)
+	}
+	p0 := byName["shard0"]
+	for _, frag := range []string{"-shard-id 0", "-shards 2", "-fsync always", "-gen powerlaw"} {
+		if !strings.Contains(p0.Argv, frag) {
+			t.Fatalf("shard0 argv missing %q: %s", frag, p0.Argv)
+		}
+	}
+}
+
+// ProcSpecLite flattens a spec for assertion convenience.
+type ProcSpecLite struct {
+	Shard   int
+	Replica bool
+	Addr    string
+	Argv    string
+}

@@ -16,6 +16,7 @@ var audited = []string{
 	"internal/fixpoint", // generic engine + parallel mode
 	"internal/serve",    // serving layer
 	"internal/wal",      // durability substrate
+	"internal/shard",    // sharded serving
 	"internal/obs",      // metrics
 	"internal/trace",    // flight recorder
 	"internal/doclint",  // keep the linter honest about itself

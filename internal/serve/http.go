@@ -41,6 +41,12 @@ type Service struct {
 	start time.Time
 	shed  *obs.Counter
 
+	// mounts are extra handler routes included by Handler — the hook
+	// shard-mode daemons use to graft the shard-local evaluation and
+	// WAL-streaming endpoints onto the service API without the serving
+	// core knowing about sharding. Registered before Handler is built.
+	mounts map[string]http.Handler
+
 	// journal, when installed (SetJournal), owns the durable ingest path:
 	// POST /update hands it the validated batch and targets, and it
 	// write-ahead-logs the batch before submitting — atomically with
@@ -98,6 +104,19 @@ func NewService() *Service {
 // Registry returns the service's metric registry, for mounting extra
 // process-level metrics next to the per-host ones.
 func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Mount registers an extra route on the service API under the given
+// ServeMux pattern (e.g. "POST /shard/eval/{algo}", "/wal/"). Call
+// before Handler; later Mount calls do not affect handlers already
+// built.
+func (s *Service) Mount(pattern string, h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mounts == nil {
+		s.mounts = make(map[string]http.Handler)
+	}
+	s.mounts[pattern] = h
+}
 
 // Recorder returns the service's flight recorder — the bounded ring
 // behind GET /debug/trace that every host's spans land in.
@@ -169,6 +188,11 @@ type UpdateResult struct {
 	// traceparent header, or freshly minted — the key for finding this
 	// update in the flight recording and access logs.
 	TraceID string `json:"trace_id"`
+	// Epochs maps each target algo to its published view epoch after
+	// this request: with wait=1 the epochs include this batch (the
+	// per-process half of the router's cross-shard epoch vector);
+	// without it they are merely the current positions at response time.
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
 }
 
 // requestTraceID resolves the trace ID of an HTTP request: the one the
@@ -236,6 +260,11 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, applies)
 	})
 	mux.HandleFunc("POST /update", s.handleUpdate)
+	s.mu.RLock()
+	for pattern, h := range s.mounts {
+		mux.Handle(pattern, h)
+	}
+	s.mu.RUnlock()
 	return mux
 }
 
@@ -294,6 +323,7 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusServiceUnavailable, err)
 			return
 		}
+		res.Epochs = viewEpochs(targets)
 		writeJSON(w, http.StatusOK, res)
 		return
 	}
@@ -303,7 +333,19 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	res.Epochs = viewEpochs(targets)
 	writeJSON(w, http.StatusOK, res)
+}
+
+// viewEpochs snapshots each target's published view epoch — taken after
+// submission (and, under wait=1, after application), so an acknowledged
+// update is covered by the reported epochs.
+func viewEpochs(targets []*Host) map[string]uint64 {
+	es := make(map[string]uint64, len(targets))
+	for _, h := range targets {
+		es[h.Algo()] = h.View().Epoch
+	}
+	return es
 }
 
 // maxAppliesPerHost caps GET /debug/applies entries per host even when

@@ -1,0 +1,218 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"incgraph/internal/graph"
+)
+
+// Client is the router's HTTP handle on one shard daemon (or replica).
+// It speaks the serve.Service API plus the shard-side endpoints mounted
+// by MountShardAPI, translating wire shapes back into values the
+// exchange layer consumes. A Client is safe for concurrent use.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://127.0.0.1:9001".
+	Base string
+	// HTTP is the underlying client; nil means a default with a 30s
+	// timeout (fan-out callers bound requests with contexts instead).
+	HTTP *http.Client
+}
+
+// defaultShardClient bounds any request a caller forgot to bound: long
+// enough for a cold shard-local recompute, short enough to not wedge
+// the router forever.
+var defaultShardClient = &http.Client{Timeout: 30 * time.Second}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultShardClient
+}
+
+// StatusError is a non-2xx shard response, preserving the code so the
+// router can distinguish shedding (503) from brokenness.
+type StatusError struct {
+	// Code is the HTTP status the shard returned.
+	Code int
+	// Body is the (truncated) response body, usually the error text.
+	Body string
+}
+
+// Error renders the status and body.
+func (e *StatusError) Error() string { return fmt.Sprintf("status %d: %s", e.Code, e.Body) }
+
+// IsShed reports whether err is a shard telling us to back off (503).
+func IsShed(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusServiceUnavailable
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Healthz probes the daemon's liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
+// Info fetches the daemon's shard identity.
+func (c *Client) Info(ctx context.Context) (Info, error) {
+	var info Info
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/shard/info", nil)
+	if err != nil {
+		return info, err
+	}
+	err = c.do(req, &info)
+	return info, err
+}
+
+// UpdateOutcome is what one shard said about its sub-batch.
+type UpdateOutcome struct {
+	// Accepted is the number of unit updates the shard accepted.
+	Accepted int `json:"accepted"`
+	// Applied reports whether the shard confirmed application (wait=1).
+	Applied bool `json:"applied"`
+	// Epochs maps the shard's algos to their post-request view epochs.
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
+}
+
+// Update posts a sub-batch to the shard in the binary batch format.
+// wait asks the shard to confirm application (and WAL logging, when the
+// shard is durable) before responding.
+func (c *Client) Update(ctx context.Context, b graph.Batch, wait bool) (UpdateOutcome, error) {
+	var out UpdateOutcome
+	var buf bytes.Buffer
+	if err := graph.WriteBatch(&buf, b); err != nil {
+		return out, err
+	}
+	url := c.Base + "/update"
+	if wait {
+		url += "?wait=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &buf)
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	err = c.do(req, &out)
+	return out, err
+}
+
+// wireView mirrors the serve.View JSON with the data left raw so the
+// caller can decode the algo-specific shape.
+type wireView struct {
+	Algo     string          `json:"algo"`
+	Epoch    uint64          `json:"epoch"`
+	Degraded bool            `json:"degraded"`
+	Data     json.RawMessage `json:"data"`
+}
+
+// ShardView is one shard's published answer vector plus the metadata
+// the exchange needs.
+type ShardView struct {
+	// Epoch is the stream position the vector answers for.
+	Epoch uint64
+	// Degraded reports a stale view republished after a maintainer
+	// panic; the router surfaces it rather than hiding it.
+	Degraded bool
+	// Src is the SSSP source (sssp views only).
+	Src graph.NodeID
+	// Values is the dense vector: distances for sssp, labels for cc.
+	Values []int64
+}
+
+// View fetches the shard's published view for algo ("sssp" or "cc") and
+// extracts its value vector.
+func (c *Client) View(ctx context.Context, algo string) (ShardView, error) {
+	var sv ShardView
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/query/"+algo, nil)
+	if err != nil {
+		return sv, err
+	}
+	var wv wireView
+	if err := c.do(req, &wv); err != nil {
+		return sv, err
+	}
+	sv.Epoch, sv.Degraded = wv.Epoch, wv.Degraded
+	switch algo {
+	case "sssp":
+		var d struct {
+			Src  graph.NodeID `json:"src"`
+			Dist []int64      `json:"dist"`
+		}
+		if err := json.Unmarshal(wv.Data, &d); err != nil {
+			return sv, fmt.Errorf("shard: sssp view: %w", err)
+		}
+		sv.Src, sv.Values = d.Src, d.Dist
+	case "cc":
+		var d struct {
+			Labels []int64 `json:"labels"`
+		}
+		if err := json.Unmarshal(wv.Data, &d); err != nil {
+			return sv, fmt.Errorf("shard: cc view: %w", err)
+		}
+		sv.Values = d.Labels
+	default:
+		return sv, fmt.Errorf("shard: no view decoder for algo %q", algo)
+	}
+	return sv, nil
+}
+
+// Eval runs one seeded local evaluation round on the shard. seeds are
+// sparse [vertex, value] pairs; the response vector is dense.
+func (c *Client) Eval(ctx context.Context, algo string, seeds [][2]int64) (EvalResponse, error) {
+	var out EvalResponse
+	body, err := json.Marshal(EvalRequest{Seeds: seeds})
+	if err != nil {
+		return out, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/shard/eval/"+algo, bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	err = c.do(req, &out)
+	return out, err
+}
+
+// Promote asks a warm replica to seal its follower loop and begin
+// serving as the shard primary. The response reports the promoted
+// epoch per algo.
+func (c *Client) Promote(ctx context.Context) (map[string]uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/replica/promote", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Epochs map[string]uint64 `json:"epochs"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out.Epochs, nil
+}

@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// EpochVector is the cross-shard consistency stamp: entry i is shard i's
+// epoch (raw unit updates applied, exactly serve.View.Epoch) at the
+// moment the stamped response was assembled. A client holding vector A
+// from an acknowledged write knows a later read stamped B includes that
+// write iff B.Covers(A): single-shard epochs generalize to one epoch per
+// shard, and "prefix of the stream" generalizes to "per-shard prefix,
+// component-wise". A read whose vector does not cover the router's
+// acknowledged floor (after a replica promotion, for example) is
+// reported as inconsistent rather than silently served.
+type EpochVector []uint64
+
+// epochMagic opens the binary encoding: a version-carrying byte so the
+// codec can evolve without ambiguity ('V' for vector, low bits version).
+const epochMagic = 0x56
+
+// maxEpochShards bounds the decoded shard count so a corrupted or
+// hostile count byte cannot force a giant allocation.
+const maxEpochShards = 1 << 16
+
+// AppendBinary appends the vector's binary encoding to dst and returns
+// the extended slice: magic, uvarint length, then each epoch as a plain
+// uvarint. (Epochs across shards are independent counters, so delta
+// coding against the previous entry buys nothing once a shard lags.)
+func (ev EpochVector) AppendBinary(dst []byte) []byte {
+	dst = append(dst, epochMagic)
+	dst = binary.AppendUvarint(dst, uint64(len(ev)))
+	for _, e := range ev {
+		dst = binary.AppendUvarint(dst, e)
+	}
+	return dst
+}
+
+// DecodeEpochVector parses a binary epoch vector, returning the bytes
+// following it. Torn, truncated, or corrupt input yields an error, never
+// a panic and never an oversized allocation.
+func DecodeEpochVector(data []byte) (EpochVector, []byte, error) {
+	if len(data) == 0 || data[0] != epochMagic {
+		return nil, nil, fmt.Errorf("shard: bad epoch-vector magic")
+	}
+	data = data[1:]
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, nil, fmt.Errorf("shard: bad epoch-vector length")
+	}
+	if n > maxEpochShards {
+		return nil, nil, fmt.Errorf("shard: epoch vector claims %d shards (max %d)", n, maxEpochShards)
+	}
+	data = data[used:]
+	ev := make(EpochVector, 0, n)
+	for i := uint64(0); i < n; i++ {
+		e, used := binary.Uvarint(data)
+		if used <= 0 {
+			return nil, nil, fmt.Errorf("shard: epoch vector torn at entry %d", i)
+		}
+		data = data[used:]
+		ev = append(ev, e)
+	}
+	return ev, data, nil
+}
+
+// String renders the vector as the URL-safe base64 of its binary
+// encoding — the opaque token carried in the X-Incgraph-Epochs response
+// header and accepted back by ParseEpochVector.
+func (ev EpochVector) String() string {
+	return base64.RawURLEncoding.EncodeToString(ev.AppendBinary(nil))
+}
+
+// ParseEpochVector decodes a token produced by String. Trailing garbage
+// after a well-formed vector is rejected: tokens are exact.
+func ParseEpochVector(s string) (EpochVector, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(strings.TrimSpace(s))
+	if err != nil {
+		return nil, fmt.Errorf("shard: epoch vector token: %w", err)
+	}
+	ev, rest, err := DecodeEpochVector(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after epoch vector", len(rest))
+	}
+	return ev, nil
+}
+
+// Covers reports whether ev is component-wise at least other — "every
+// shard has applied at least the prefix other describes". Vectors of
+// different lengths (a resharded cluster) never cover each other.
+func (ev EpochVector) Covers(other EpochVector) bool {
+	if len(ev) != len(other) {
+		return false
+	}
+	for i, e := range ev {
+		if e < other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Max returns the component-wise maximum of ev and other, extending to
+// the longer length — the merge the router uses to advance its
+// acknowledged floor.
+func (ev EpochVector) Max(other EpochVector) EpochVector {
+	n := len(ev)
+	if len(other) > n {
+		n = len(other)
+	}
+	out := make(EpochVector, n)
+	for i := range out {
+		var a, b uint64
+		if i < len(ev) {
+			a = ev[i]
+		}
+		if i < len(other) {
+			b = other[i]
+		}
+		if a > b {
+			out[i] = a
+		} else {
+			out[i] = b
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of ev.
+func (ev EpochVector) Clone() EpochVector { return append(EpochVector(nil), ev...) }

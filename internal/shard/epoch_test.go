@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"testing"
+)
+
+func equalVec(a, b EpochVector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEpochVectorRoundTrip(t *testing.T) {
+	cases := []EpochVector{
+		nil,
+		{},
+		{0},
+		{1, 2, 3},
+		{^uint64(0), 0, 1<<63 - 1},
+	}
+	for _, v := range cases {
+		tok := v.String()
+		got, err := ParseEpochVector(tok)
+		if err != nil {
+			t.Fatalf("%v: parse(%q): %v", v, tok, err)
+		}
+		if !equalVec(got, v) {
+			t.Fatalf("%v: round-trip drifted to %v", v, got)
+		}
+	}
+}
+
+func TestEpochVectorTornInput(t *testing.T) {
+	v := EpochVector{7, 1 << 40, 3}
+	full := v.AppendBinary(nil)
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeEpochVector(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(full))
+		}
+	}
+	// DecodeEpochVector hands trailing bytes back; ParseEpochVector
+	// rejects them — tokens are exact.
+	_, rest, err := DecodeEpochVector(append(v.AppendBinary(nil), 0xAB))
+	if err != nil || len(rest) != 1 || rest[0] != 0xAB {
+		t.Fatalf("trailing byte not passed through: rest=%x err=%v", rest, err)
+	}
+	if _, err := ParseEpochVector("!!!not-base64!!!"); err == nil {
+		t.Fatal("garbage token accepted")
+	}
+	// A hostile length prefix must not allocate.
+	huge := []byte{epochMagic, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, _, err := DecodeEpochVector(huge); err == nil {
+		t.Fatal("oversized shard count accepted")
+	}
+}
+
+func TestEpochVectorCoversMaxClone(t *testing.T) {
+	a := EpochVector{3, 5, 7}
+	if !a.Covers(EpochVector{3, 5, 7}) || !a.Covers(EpochVector{0, 0, 0}) {
+		t.Fatal("Covers rejects dominated vectors")
+	}
+	if a.Covers(EpochVector{3, 6, 7}) {
+		t.Fatal("Covers accepts a component ahead of us")
+	}
+	if a.Covers(EpochVector{1, 1}) || a.Covers(EpochVector{1, 1, 1, 1}) {
+		t.Fatal("Covers accepts a vector of different width")
+	}
+	m := EpochVector{1, 9, 2}.Max(EpochVector{4, 3, 2, 8})
+	if !equalVec(m, EpochVector{4, 9, 2, 8}) {
+		t.Fatalf("Max = %v", m)
+	}
+	c := a.Clone()
+	c[0] = 99
+	if a[0] != 3 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+// FuzzEpochVector checks the codec never panics on arbitrary bytes and
+// that any vector it accepts survives a value round-trip through both
+// the binary form and the base64 token form.
+func FuzzEpochVector(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EpochVector{}.AppendBinary(nil))
+	f.Add(EpochVector{1, 2, 3}.AppendBinary(nil))
+	f.Add(EpochVector{^uint64(0)}.AppendBinary(nil))
+	f.Add([]byte{epochMagic, 0xff, 0xff, 0xff})
+	f.Add([]byte{epochMagic, 0x02, 0x80, 0x00, 0x01}) // non-canonical varint zero
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, _, err := DecodeEpochVector(data)
+		if err != nil {
+			return
+		}
+		v2, rest, err := DecodeEpochVector(v.AppendBinary(nil))
+		if err != nil || len(rest) != 0 || !equalVec(v, v2) {
+			t.Fatalf("binary round-trip of %v: got %v rest=%x err=%v", v, v2, rest, err)
+		}
+		v3, err := ParseEpochVector(v.String())
+		if err != nil || !equalVec(v, v3) {
+			t.Fatalf("token round-trip of %v: got %v err=%v", v, v3, err)
+		}
+	})
+}

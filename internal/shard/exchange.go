@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"incgraph/internal/graph"
+	"incgraph/internal/pq"
+)
+
+// This file is the cross-shard query algebra: how per-shard maintained
+// views become one global answer. The scheme is the partitioned-fixpoint
+// model of the paper's evaluation (GRAPE): each shard computes over its
+// fragment, and rounds of boundary-value exchange carry values across
+// cut edges until the exchange frontier is empty.
+//
+//   - SSSP: a shard's maintained view is the exact distance vector over
+//     its fragment — an upper bound on the global distance, and the
+//     length of a real path wherever finite. The router min-combines the
+//     vectors, then iterates: every shard runs a *seeded* relaxation
+//     (SeededSSSP, the shard-local resume) from the combined vector, the
+//     results are min-combined again, and the loop stops when no entry
+//     improved. Every intermediate value is the length of an actual
+//     source path, every edge lives in some fragment, so the fixpoint is
+//     exactly the single-process answer.
+//
+//   - CC: a shard's maintained labels already encode "connected within
+//     my fragment" (including across its cut edges, which it stores).
+//     Global components are the transitive closure of the per-shard
+//     relations, which a union–find over (v, label_s(v)) pairs computes
+//     in one pass — the boundary-label union round, with the iteration
+//     collapsed: union–find *is* iterate-until-the-frontier-is-empty,
+//     memoized by path compression.
+
+// SeededSSSP runs one shard-local relaxation round: a multi-source
+// Dijkstra over fragment g starting from the seed distance vector
+// (graph.Infinity = unseeded). The result is component-wise ≤ seeds and
+// every finite entry extends some seeded path by fragment edges only —
+// the local evaluation step of the exchange. The seeds slice is not
+// modified.
+func SeededSSSP(g *graph.Graph, seeds []int64) []int64 {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	h := pq.New(n, func(a, b int32) bool { return dist[a] < dist[b] })
+	for v := 0; v < n; v++ {
+		dist[v] = graph.Infinity
+		if v < len(seeds) && seeds[v] < graph.Infinity {
+			dist[v] = seeds[v]
+			h.AddOrAdjust(int32(v))
+		}
+	}
+	for h.Len() > 0 {
+		u, _ := h.Pop()
+		du := dist[u]
+		for _, e := range g.Out(graph.NodeID(u)) {
+			if nd := du + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				h.AddOrAdjust(int32(e.To))
+			}
+		}
+	}
+	return dist
+}
+
+// minCombine folds src into dst component-wise and reports how many
+// entries improved — the exchange frontier size of one round.
+func minCombine(dst, src []int64) int {
+	improved := 0
+	for i := range dst {
+		if i < len(src) && src[i] < dst[i] {
+			dst[i] = src[i]
+			improved++
+		}
+	}
+	return improved
+}
+
+// SSSPExchange assembles the global distance vector from per-shard
+// local views by iterated boundary-value exchange. views[i] is shard
+// i's maintained distance vector (its fragment-local answer); eval runs
+// shard i's seeded relaxation and returns the resulting vector. The
+// returned rounds counts eval rounds (0 when the min-combined views are
+// already a fixpoint — no finite value crossed a cut).
+func SSSPExchange(n int, views [][]int64, eval func(i int, seeds []int64) ([]int64, error)) (dist []int64, rounds int, err error) {
+	dist = make([]int64, n)
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	for _, v := range views {
+		minCombine(dist, v)
+	}
+	// Iterate: seed every shard with the combined vector, re-combine,
+	// stop when the exchange frontier is empty. A shard whose local view
+	// already equals the seeds restricted to its fragment contributes no
+	// improvement, so the loop is driven purely by values that crossed a
+	// cut in the previous round.
+	for {
+		improved := 0
+		for i := range views {
+			lv, err := eval(i, dist)
+			if err != nil {
+				return nil, rounds, err
+			}
+			improved += minCombine(dist, lv)
+		}
+		rounds++
+		if improved == 0 {
+			return dist, rounds, nil
+		}
+	}
+}
+
+// CCExchange assembles global component labels from per-shard label
+// vectors: a union–find over the pairs (v, label_s(v)) for every shard
+// s, then each vertex is labeled with the minimum vertex id of its
+// global class — the same labeling CCfp computes on the unsharded
+// graph. Fragment-internal and cut edges alike are already folded into
+// the shard labels (every edge is stored by at least one shard), so one
+// union pass is the entire exchange.
+func CCExchange(n int, views [][]int64) []int64 {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Union by smaller id: the root is then the class minimum,
+			// which is exactly the label we must emit.
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	for _, labels := range views {
+		for v := 0; v < n && v < len(labels); v++ {
+			if l := labels[v]; l >= 0 && l < int64(n) {
+				union(int32(v), int32(l))
+			}
+		}
+	}
+	out := make([]int64, n)
+	for v := 0; v < n; v++ {
+		out[v] = int64(find(int32(v)))
+	}
+	return out
+}

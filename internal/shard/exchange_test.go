@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incgraph/internal/cc"
+	"incgraph/internal/gen"
+	"incgraph/internal/graph"
+	"incgraph/internal/sssp"
+)
+
+func TestSeededSSSPMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := gen.PowerLaw(rng, 300, 6, true)
+	src := graph.NodeID(0)
+	seeds := make([]int64, g.NumNodes())
+	for i := range seeds {
+		seeds[i] = graph.Infinity
+	}
+	seeds[src] = 0
+	got := SeededSSSP(g, seeds)
+	want := sssp.Dijkstra(g, src)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, Dijkstra says %d", v, got[v], want[v])
+		}
+	}
+}
+
+// TestExchangeDifferential is the in-process half of the sharded ≡
+// single-process guarantee: over random power-law graphs (directed and
+// undirected), random partition widths, and random update streams, the
+// exchange over fragment-local answers must equal the full-graph
+// recompute for both SSSP and CC.
+func TestExchangeDifferential(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		for shards := 1; shards <= 4; shards++ {
+			t.Run(fmt.Sprintf("directed=%v/shards=%d", directed, shards), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(17*shards) + 31))
+				g := gen.PowerLaw(rng, 250, 5, directed)
+				p := NewHashPartitioner(shards)
+				frags := make([]*graph.Graph, shards)
+				for id := range frags {
+					frags[id] = FilterGraph(g, p, id)
+				}
+				src := graph.NodeID(rng.Intn(g.NumNodes()))
+
+				check := func(round int) {
+					n := g.NumNodes()
+					// SSSP: fragment views are full Dijkstra runs from src;
+					// eval is the fragment's seeded relaxation.
+					views := make([][]int64, shards)
+					for id := range frags {
+						views[id] = sssp.Dijkstra(frags[id], src)
+					}
+					dist, rounds, err := SSSPExchange(n, views, func(i int, seeds []int64) ([]int64, error) {
+						return SeededSSSP(frags[i], seeds), nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := sssp.Dijkstra(g, src)
+					for v := range want {
+						if dist[v] != want[v] {
+							t.Fatalf("round %d: sssp dist[%d] = %d, want %d (rounds=%d)",
+								round, v, dist[v], want[v], rounds)
+						}
+					}
+					// CC: fragment views are fragment-local labels; the union
+					// pass must reproduce the full-graph labels exactly.
+					labelViews := make([][]int64, shards)
+					for id := range frags {
+						labelViews[id] = cc.CCfp(frags[id])
+					}
+					labels := CCExchange(n, labelViews)
+					wantLabels := cc.CCfp(g)
+					for v := range wantLabels {
+						if labels[v] != wantLabels[v] {
+							t.Fatalf("round %d: cc label[%d] = %d, want %d",
+								round, v, labels[v], wantLabels[v])
+						}
+					}
+				}
+
+				check(0)
+				for round := 1; round <= 5; round++ {
+					b := gen.RandomUpdates(rng, g, 60, 0.5)
+					for id, sb := range SplitBatch(p, directed, b) {
+						frags[id].Apply(sb)
+					}
+					g.Apply(b)
+					check(round)
+				}
+			})
+		}
+	}
+}
+
+// TestSSSPExchangeEvalError: an eval failure must surface, not hang the
+// exchange loop.
+func TestSSSPExchangeEvalError(t *testing.T) {
+	views := [][]int64{{0, graph.Infinity}, {graph.Infinity, 5}}
+	_, _, err := SSSPExchange(2, views, func(i int, seeds []int64) ([]int64, error) {
+		return nil, fmt.Errorf("shard %d down", i)
+	})
+	if err == nil {
+		t.Fatal("eval error swallowed")
+	}
+}

@@ -1,0 +1,481 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"incgraph/internal/graph"
+	"incgraph/internal/obs"
+)
+
+// Router is the cluster front-end: one process that owns no graph state
+// but knows the partitioner, splits every update batch into per-shard
+// sub-batches, fans them out, and assembles cross-shard query answers
+// by boundary-value exchange. Its consistency currency is the epoch
+// vector: every write acknowledgment and every query response is
+// stamped with one, and the router tracks the component-wise maximum of
+// everything it has acknowledged (the *floor*) so reads can be labeled
+// consistent or not — honestly inconsistent after a replica promotion
+// that lost acked-but-unshipped tail updates, for example.
+type Router struct {
+	part     Partitioner
+	table    *Table
+	directed bool
+	n        int
+	client   *http.Client
+
+	// floor is the component-wise max epoch vector over acknowledged
+	// writes: the prefix a consistent read must cover.
+	floorMu sync.Mutex
+	floor   EpochVector
+
+	updatesRouted *obs.Counter
+	updatesShed   *obs.Counter
+	updatesSplit  *obs.Counter
+	partialFails  *obs.Counter
+	exchangeRnds  *obs.Counter
+	queriesServed *obs.Counter
+	reg           *obs.Registry
+}
+
+// RouterOptions configure a Router.
+type RouterOptions struct {
+	// Part is the vertex-ownership scheme; must match the shards'.
+	Part Partitioner
+	// Table maps shard ids to live addresses (shared with a Supervisor
+	// when one manages the processes).
+	Table *Table
+	// Directed must match the shards' graph mode — it decides which
+	// sub-batches an undirected cut edge lands in.
+	Directed bool
+	// NumNodes is the graph's node count, for validating batches before
+	// any shard sees them.
+	NumNodes int
+	// Client overrides the HTTP client used for shard requests.
+	Client *http.Client
+	// Registry receives router metrics; nil means a private registry.
+	Registry *obs.Registry
+}
+
+// NewRouter validates the options and builds a router.
+func NewRouter(opt RouterOptions) (*Router, error) {
+	if opt.Part == nil {
+		return nil, fmt.Errorf("shard: router needs a partitioner")
+	}
+	if opt.Table == nil {
+		return nil, fmt.Errorf("shard: router needs a routing table")
+	}
+	if opt.Table.Shards() != opt.Part.Shards() {
+		return nil, fmt.Errorf("shard: table has %d slots, partitioner %d shards",
+			opt.Table.Shards(), opt.Part.Shards())
+	}
+	if opt.NumNodes <= 0 {
+		return nil, fmt.Errorf("shard: router needs the node count, got %d", opt.NumNodes)
+	}
+	reg := opt.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rt := &Router{
+		part:     opt.Part,
+		table:    opt.Table,
+		directed: opt.Directed,
+		n:        opt.NumNodes,
+		client:   opt.Client,
+		floor:    make(EpochVector, opt.Part.Shards()),
+		reg:      reg,
+	}
+	rt.updatesRouted = reg.Counter("incrouter_updates_routed_total", "Unit updates fanned out to shards.")
+	rt.updatesShed = reg.Counter("incrouter_updates_shed_total", "Update requests refused with 503.")
+	rt.updatesSplit = reg.Counter("incrouter_batches_split_total", "Update batches split and routed.")
+	rt.partialFails = reg.Counter("incrouter_partial_failures_total", "Split batches where only some shards applied.")
+	rt.exchangeRnds = reg.Counter("incrouter_exchange_rounds_total", "Boundary-value exchange rounds run.")
+	rt.queriesServed = reg.Counter("incrouter_queries_total", "Cross-shard queries assembled.")
+	return rt, nil
+}
+
+// clientFor returns a shard client for slot i's active member.
+func (rt *Router) clientFor(addr string) *Client { return &Client{Base: addr, HTTP: rt.client} }
+
+// EpochHeader is the response header carrying the epoch-vector token on
+// stamped router responses; the same token is accepted back on reads in
+// MinEpochHeader.
+const EpochHeader = "X-Incgraph-Epochs"
+
+// MinEpochHeader is the request header naming the epoch vector a read
+// must cover; the router answers 412 when it cannot.
+const MinEpochHeader = "X-Incgraph-Min-Epochs"
+
+// Floor returns the router's acknowledged epoch floor.
+func (rt *Router) Floor() EpochVector {
+	rt.floorMu.Lock()
+	defer rt.floorMu.Unlock()
+	return rt.floor.Clone()
+}
+
+// raiseFloor merges an acknowledged vector into the floor.
+func (rt *Router) raiseFloor(ev EpochVector) {
+	rt.floorMu.Lock()
+	rt.floor = rt.floor.Max(ev)
+	rt.floorMu.Unlock()
+}
+
+// PerShard is one shard's slice of a routed update, reported in the
+// response body so a partial apply is visible per shard, not averaged
+// away.
+type PerShard struct {
+	// Shard is the slot the sub-batch belonged to.
+	Shard int `json:"shard"`
+	// Updates is the sub-batch size in unit updates.
+	Updates int `json:"updates"`
+	// Status is "applied", "accepted", "shed", or "error".
+	Status string `json:"status"`
+	// Error carries the failure detail when Status is shed/error.
+	Error string `json:"error,omitempty"`
+	// Epochs are the shard's per-algo view epochs after the sub-batch.
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
+}
+
+// RouterUpdateResult is the JSON response of the router's POST /update.
+type RouterUpdateResult struct {
+	// Accepted is the unit-update count parsed from the body.
+	Accepted int `json:"accepted"`
+	// Routed is the number of shards that received a sub-batch.
+	Routed int `json:"routed"`
+	// Applied is true only when every owning shard confirmed its
+	// sub-batch WAL-logged and (with wait=1) applied. A split batch is
+	// never acked as applied on partial success.
+	Applied bool `json:"applied"`
+	// PerShard details each sub-batch's fate.
+	PerShard []PerShard `json:"per_shard"`
+	// Epochs is the epoch vector after the request (also in the
+	// X-Incgraph-Epochs header as EpochToken).
+	Epochs EpochVector `json:"epochs"`
+	// EpochToken is the vector's opaque header token.
+	EpochToken string `json:"epoch_token"`
+}
+
+// QueryResult is the JSON response of the router's GET /query/{algo}.
+type QueryResult struct {
+	// Algo is the query class.
+	Algo string `json:"algo"`
+	// Epochs is the per-shard epoch vector the answer reflects.
+	Epochs EpochVector `json:"epochs"`
+	// EpochToken is the vector's opaque header token.
+	EpochToken string `json:"epoch_token"`
+	// Consistent reports whether Epochs covers the router's
+	// acknowledged floor — false means some acknowledged write is not
+	// reflected (e.g. lost in a promotion) and the client should treat
+	// the answer as a stale prefix.
+	Consistent bool `json:"consistent"`
+	// Degraded is set when any contributing shard view was degraded.
+	Degraded bool `json:"degraded,omitempty"`
+	// ExchangeRounds counts boundary-exchange evaluation rounds.
+	ExchangeRounds int `json:"exchange_rounds"`
+	// Data is the assembled global answer (SSSP: {src,dist}; CC:
+	// {labels}).
+	Data any `json:"data"`
+}
+
+// routedBatch pairs a shard id with its non-empty sub-batch.
+type routedBatch struct {
+	shard int
+	b     graph.Batch
+}
+
+// Handler returns the router's HTTP API:
+//
+//	POST /update[?wait=1]   split, fan out, epoch-vector-stamped ack
+//	GET  /query/{algo}      cross-shard answer by boundary exchange
+//	GET  /epochs            current floor and live per-shard epochs
+//	GET  /shards            routing table snapshot
+//	GET  /healthz           router liveness
+//	GET  /metrics           router metrics (Prometheus text format)
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"shards": rt.table.Snapshot()})
+	})
+	mux.Handle("GET /metrics", rt.reg.Handler())
+	mux.HandleFunc("GET /epochs", rt.handleEpochs)
+	mux.HandleFunc("POST /update", rt.handleUpdate)
+	mux.HandleFunc("GET /query/{algo}", rt.handleQuery)
+	return mux
+}
+
+func (rt *Router) handleEpochs(w http.ResponseWriter, r *http.Request) {
+	live := make(EpochVector, rt.part.Shards())
+	for i := range live {
+		addr, _ := rt.table.Active(i)
+		info, err := rt.clientFor(addr).Info(r.Context())
+		if err != nil {
+			continue // absent entry stays 0: visibly behind the floor
+		}
+		live[i] = minAlgoEpoch(info.Epochs)
+	}
+	floor := rt.Floor()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"floor": floor, "floor_token": floor.String(),
+		"live": live, "live_token": live.String(),
+		"consistent": live.Covers(floor),
+	})
+}
+
+func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	b, err := graph.ReadBatch(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := b.Validate(rt.n); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	parts := SplitBatch(rt.part, rt.directed, b)
+	var routed []routedBatch
+	for i, sb := range parts {
+		if len(sb) > 0 {
+			routed = append(routed, routedBatch{shard: i, b: sb})
+		}
+	}
+	// Health gate before any shard sees a byte: refusing the whole
+	// batch up front beats discovering a dead owner after siblings have
+	// already logged their slices.
+	for _, rb := range routed {
+		if addr, healthy := rt.table.Active(rb.shard); !healthy || addr == "" {
+			rt.updatesShed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("shard %d is not healthy; batch not routed", rb.shard))
+			return
+		}
+	}
+	wait := r.URL.Query().Get("wait") != ""
+	res := RouterUpdateResult{
+		Accepted: len(b),
+		Routed:   len(routed),
+		PerShard: make([]PerShard, len(routed)),
+	}
+	var wg sync.WaitGroup
+	for idx, rb := range routed {
+		wg.Add(1)
+		go func(idx int, rb routedBatch) {
+			defer wg.Done()
+			ps := PerShard{Shard: rb.shard, Updates: len(rb.b)}
+			addr, _ := rt.table.Active(rb.shard)
+			out, err := rt.clientFor(addr).Update(r.Context(), rb.b, wait)
+			switch {
+			case err == nil:
+				ps.Status, ps.Epochs = "accepted", out.Epochs
+				if out.Applied {
+					ps.Status = "applied"
+				}
+			case IsShed(err):
+				ps.Status, ps.Error = "shed", err.Error()
+			default:
+				ps.Status, ps.Error = "error", err.Error()
+			}
+			res.PerShard[idx] = ps
+		}(idx, rb)
+	}
+	wg.Wait()
+
+	// Assemble the post-request epoch vector: shards that carried a
+	// sub-batch report their new epochs; untouched shards keep the
+	// floor's entry (their stream did not advance).
+	vector := rt.Floor()
+	allOK, anyOK, anyShed := true, false, false
+	for _, ps := range res.PerShard {
+		switch ps.Status {
+		case "applied", "accepted":
+			anyOK = true
+			if e := minAlgoEpoch(ps.Epochs); e > vector[ps.Shard] {
+				vector[ps.Shard] = e
+			}
+		case "shed":
+			anyShed, allOK = true, false
+		default:
+			allOK = false
+		}
+	}
+	res.Epochs = vector
+	res.EpochToken = vector.String()
+	// A split batch is applied only if *every* owning shard logged its
+	// slice; partial success is reported per shard, never acked whole.
+	res.Applied = allOK && wait && len(routed) > 0
+	w.Header().Set(EpochHeader, res.EpochToken)
+	rt.updatesSplit.Inc()
+	if allOK {
+		rt.updatesRouted.Add(float64(len(b)))
+		rt.raiseFloor(vector)
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	if anyOK {
+		rt.partialFails.Inc()
+		// The applied slices are acknowledged state — reads must cover
+		// them even though the batch as a whole failed.
+		rt.raiseFloor(vector)
+	}
+	code := http.StatusBadGateway
+	if anyShed {
+		rt.updatesShed.Inc()
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, code, res)
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	algo := r.PathValue("algo")
+	if algo != "sssp" && algo != "cc" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown algo %q", algo))
+		return
+	}
+	var minEV EpochVector
+	if tok := r.Header.Get(MinEpochHeader); tok != "" {
+		ev, err := ParseEpochVector(tok)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		minEV = ev
+	}
+	views, vector, degraded, src, err := rt.gatherViews(r.Context(), algo)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if minEV != nil && !vector.Covers(minEV) {
+		w.Header().Set(EpochHeader, vector.String())
+		writeError(w, http.StatusPreconditionFailed,
+			fmt.Errorf("shard epochs %v do not cover required %v", vector, minEV))
+		return
+	}
+	res := QueryResult{
+		Algo:       algo,
+		Epochs:     vector,
+		EpochToken: vector.String(),
+		Consistent: vector.Covers(rt.Floor()),
+		Degraded:   degraded,
+	}
+	switch algo {
+	case "sssp":
+		dist, rounds, err := SSSPExchange(rt.n, views, func(i int, seeds []int64) ([]int64, error) {
+			addr, _ := rt.table.Active(i)
+			resp, err := rt.clientFor(addr).Eval(r.Context(), "sssp", sparseSeeds(seeds))
+			if err != nil {
+				return nil, fmt.Errorf("shard %d eval: %w", i, err)
+			}
+			return resp.Values, nil
+		})
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		res.ExchangeRounds = rounds
+		rt.exchangeRnds.Add(float64(rounds))
+		res.Data = map[string]any{"src": src, "dist": dist}
+	case "cc":
+		// CC's exchange needs no shard round-trips: the union of the
+		// published label relations is the global fixpoint.
+		res.ExchangeRounds = 1
+		rt.exchangeRnds.Inc()
+		res.Data = map[string]any{"labels": CCExchange(rt.n, views)}
+	}
+	rt.queriesServed.Inc()
+	w.Header().Set(EpochHeader, res.EpochToken)
+	writeJSON(w, http.StatusOK, res)
+}
+
+// gatherViews fetches every shard's published view for algo
+// concurrently, returning the per-shard value vectors, the epoch vector
+// they answer for, whether any was degraded, and (for sssp) the source.
+func (rt *Router) gatherViews(ctx context.Context, algo string) (views [][]int64, vector EpochVector, degraded bool, src graph.NodeID, err error) {
+	shards := rt.part.Shards()
+	views = make([][]int64, shards)
+	vector = make(EpochVector, shards)
+	errs := make([]error, shards)
+	srcs := make([]graph.NodeID, shards)
+	degs := make([]bool, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			addr, healthy := rt.table.Active(i)
+			if !healthy || addr == "" {
+				errs[i] = fmt.Errorf("shard %d is not healthy", i)
+				return
+			}
+			sv, err := rt.clientFor(addr).View(ctx, algo)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			if len(sv.Values) != rt.n {
+				errs[i] = fmt.Errorf("shard %d: view has %d nodes, want %d", i, len(sv.Values), rt.n)
+				return
+			}
+			views[i], vector[i], srcs[i], degs[i] = sv.Values, sv.Epoch, sv.Src, sv.Degraded
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, nil, false, 0, e
+		}
+		degraded = degraded || degs[i]
+		src = srcs[i] // all shards share the source; any entry works
+	}
+	return views, vector, degraded, src, nil
+}
+
+// sparseSeeds converts a dense seed vector to the [vertex, value] pairs
+// the eval endpoint ships — only finite entries cross the wire.
+func sparseSeeds(dense []int64) [][2]int64 {
+	var out [][2]int64
+	for v, d := range dense {
+		if d < graph.Infinity {
+			out = append(out, [2]int64{int64(v), d})
+		}
+	}
+	return out
+}
+
+// minAlgoEpoch reduces a per-algo epoch map to the conservative shard
+// epoch: the minimum across hosted algos (they consume one stream, so
+// the minimum is the prefix *all* views reflect).
+func minAlgoEpoch(epochs map[string]uint64) uint64 {
+	first := true
+	var min uint64
+	for _, e := range epochs {
+		if first || e < min {
+			min, first = e, false
+		}
+	}
+	return min
+}
+
+// writeJSON writes v as indented JSON with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes the standard JSON error envelope.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

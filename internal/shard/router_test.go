@@ -1,0 +1,330 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"incgraph/internal/cc"
+	"incgraph/internal/gen"
+	"incgraph/internal/graph"
+	"incgraph/internal/serve"
+	"incgraph/internal/sssp"
+)
+
+// startShardDaemon builds one in-process shard daemon: a serve.Service
+// hosting sssp+cc over the shard's fragment, with the shard API mounted,
+// behind an httptest server.
+func startShardDaemon(t *testing.T, g *graph.Graph, p Partitioner, id int, src graph.NodeID) *httptest.Server {
+	t.Helper()
+	frag := FilterGraph(g, p, id)
+	svc := serve.NewService()
+	if _, err := svc.Host(serve.SSSP(sssp.NewInc(frag, src), src), serve.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Host(serve.CC(cc.NewInc(frag.Clone())), serve.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	MountShardAPI(svc, p, id, g.NumNodes(), g.Directed(), nil)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return srv
+}
+
+func startCluster(t *testing.T, g *graph.Graph, shards int, src graph.NodeID) (*Router, *Table) {
+	t.Helper()
+	p := NewHashPartitioner(shards)
+	addrs := make([]string, shards)
+	for id := 0; id < shards; id++ {
+		addrs[id] = startShardDaemon(t, g, p, id, src).URL
+	}
+	table := NewTable(addrs)
+	rt, err := NewRouter(RouterOptions{Part: p, Table: table, Directed: g.Directed(), NumNodes: g.NumNodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, table
+}
+
+func postBatch(t *testing.T, h http.Handler, b graph.Batch, wait bool) (*httptest.ResponseRecorder, RouterUpdateResult) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteBatch(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	url := "/update"
+	if wait {
+		url += "?wait=1"
+	}
+	req := httptest.NewRequest(http.MethodPost, url, &buf)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var res RouterUpdateResult
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatalf("update response %d not JSON: %v\n%s", w.Code, err, w.Body.String())
+	}
+	return w, res
+}
+
+func queryRouter(t *testing.T, h http.Handler, algo, minEpochs string) (*httptest.ResponseRecorder, QueryResult) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/query/"+algo, nil)
+	if minEpochs != "" {
+		req.Header.Set(MinEpochHeader, minEpochs)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var res QueryResult
+	if w.Code == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+			t.Fatalf("query response not JSON: %v", err)
+		}
+	}
+	return w, res
+}
+
+// TestRouterDifferential is the end-to-end half of the sharded ≡
+// single-process guarantee, over real HTTP: random update batches routed
+// through the splitter and fan-out, then cross-shard SSSP and CC reads
+// compared against a full-graph recompute. Run under -race this also
+// exercises the router's concurrent fan-out and view gathering.
+func TestRouterDifferential(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		for _, shards := range []int{1, 3} {
+			t.Run(fmt.Sprintf("directed=%v/shards=%d", directed, shards), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(shards)*100 + 5))
+				oracle := gen.PowerLaw(rng, 200, 5, directed)
+				src := graph.NodeID(rng.Intn(oracle.NumNodes()))
+				rt, _ := startCluster(t, oracle, shards, src)
+				h := rt.Handler()
+
+				checkAnswers := func(round int) {
+					w, res := queryRouter(t, h, "sssp", "")
+					if w.Code != http.StatusOK {
+						t.Fatalf("round %d: sssp query: %d %s", round, w.Code, w.Body.String())
+					}
+					if !res.Consistent {
+						t.Fatalf("round %d: sssp answer not consistent: %v vs floor %v", round, res.Epochs, rt.Floor())
+					}
+					// Decode data straight from the body: round-tripping
+					// through res.Data (any) would truncate Infinity to
+					// float64 precision.
+					var wire struct {
+						Data struct {
+							Src  graph.NodeID `json:"src"`
+							Dist []int64      `json:"dist"`
+						} `json:"data"`
+					}
+					if err := json.Unmarshal(w.Body.Bytes(), &wire); err != nil {
+						t.Fatal(err)
+					}
+					data := wire.Data
+					if data.Src != src {
+						t.Fatalf("round %d: query source %d, want %d", round, data.Src, src)
+					}
+					want := sssp.Dijkstra(oracle, src)
+					for v := range want {
+						if data.Dist[v] != want[v] {
+							t.Fatalf("round %d: dist[%d] = %d, want %d", round, v, data.Dist[v], want[v])
+						}
+					}
+
+					w, res = queryRouter(t, h, "cc", "")
+					if w.Code != http.StatusOK {
+						t.Fatalf("round %d: cc query: %d %s", round, w.Code, w.Body.String())
+					}
+					var ccWire struct {
+						Data struct {
+							Labels []int64 `json:"labels"`
+						} `json:"data"`
+					}
+					if err := json.Unmarshal(w.Body.Bytes(), &ccWire); err != nil {
+						t.Fatal(err)
+					}
+					ccData := ccWire.Data
+					wantLabels := cc.CCfp(oracle)
+					for v := range wantLabels {
+						if ccData.Labels[v] != wantLabels[v] {
+							t.Fatalf("round %d: label[%d] = %d, want %d", round, v, ccData.Labels[v], wantLabels[v])
+						}
+					}
+				}
+
+				checkAnswers(0)
+				for round := 1; round <= 4; round++ {
+					b := gen.RandomUpdates(rng, oracle, 50, 0.5)
+					w, res := postBatch(t, h, b, true)
+					if w.Code != http.StatusOK {
+						t.Fatalf("round %d: update: %d %s", round, w.Code, w.Body.String())
+					}
+					if !res.Applied {
+						t.Fatalf("round %d: batch not acked applied: %+v", round, res)
+					}
+					if w.Header().Get(EpochHeader) == "" {
+						t.Fatalf("round %d: missing %s header", round, EpochHeader)
+					}
+					if _, err := ParseEpochVector(res.EpochToken); err != nil {
+						t.Fatalf("round %d: epoch token: %v", round, err)
+					}
+					oracle.Apply(b)
+					checkAnswers(round)
+				}
+			})
+		}
+	}
+}
+
+// TestRouterShedsOnUnhealthyShard: an unhealthy owning shard must shed
+// the whole batch with 503 + Retry-After before any shard sees a byte,
+// and queries must refuse rather than assemble a partial answer.
+func TestRouterShedsOnUnhealthyShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := gen.PowerLaw(rng, 120, 5, true)
+	rt, table := startCluster(t, g, 2, 0)
+	h := rt.Handler()
+
+	table.SetHealth(1, false)
+	b := gen.RandomUpdates(rng, g, 30, 0.5)
+	w, res := postBatch(t, h, b, true)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("update to degraded cluster: %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if res.Applied {
+		t.Fatal("shed batch acked as applied")
+	}
+	if qw, _ := queryRouter(t, h, "sssp", ""); qw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("query with a dead shard: %d, want 503", qw.Code)
+	}
+
+	table.SetHealth(1, true)
+	if w, res = postBatch(t, h, b, true); w.Code != http.StatusOK || !res.Applied {
+		t.Fatalf("recovered cluster refuses updates: %d applied=%v", w.Code, res.Applied)
+	}
+}
+
+// TestRouterPartialApplyReported: when one shard fails mid-fan-out, the
+// batch must not be acked applied, the response must carry per-shard
+// status, and the floor must still cover the slices that did land.
+func TestRouterPartialApplyReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := gen.PowerLaw(rng, 150, 5, true)
+	src := graph.NodeID(0)
+	p := NewHashPartitioner(2)
+	good := startShardDaemon(t, g, p, 0, src)
+	// Shard 1 is a black hole: accepts connections, returns 500.
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		http.Error(w, "disk on fire", http.StatusInternalServerError)
+	}))
+	t.Cleanup(broken.Close)
+	table := NewTable([]string{good.URL, broken.URL})
+	rt, err := NewRouter(RouterOptions{Part: p, Table: table, Directed: true, NumNodes: g.NumNodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.Handler()
+
+	// Build a batch guaranteed to touch both shards.
+	var b graph.Batch
+	var got0, got1 bool
+	for v := 0; v < g.NumNodes() && !(got0 && got1); v++ {
+		u := graph.NodeID(v)
+		if p.Owner(u) == 0 && !got0 {
+			b = append(b, graph.Update{Kind: graph.InsertEdge, From: u, To: (u + 1) % graph.NodeID(g.NumNodes()), W: 1})
+			got0 = true
+		}
+		if p.Owner(u) == 1 && !got1 {
+			b = append(b, graph.Update{Kind: graph.InsertEdge, From: u, To: (u + 2) % graph.NodeID(g.NumNodes()), W: 1})
+			got1 = true
+		}
+	}
+	w, res := postBatch(t, h, b, true)
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("partial apply returned %d, want 502", w.Code)
+	}
+	if res.Applied {
+		t.Fatal("partial apply acked as applied")
+	}
+	if len(res.PerShard) != 2 {
+		t.Fatalf("per-shard report has %d entries: %+v", len(res.PerShard), res.PerShard)
+	}
+	statuses := map[int]string{}
+	for _, ps := range res.PerShard {
+		statuses[ps.Shard] = ps.Status
+	}
+	if statuses[0] != "applied" || statuses[1] != "error" {
+		t.Fatalf("per-shard statuses %v, want shard0 applied / shard1 error", statuses)
+	}
+	// The applied slice is acknowledged state: the floor must cover it.
+	if floor := rt.Floor(); floor[0] == 0 {
+		t.Fatalf("floor %v does not cover shard 0's applied slice", floor)
+	}
+}
+
+// TestRouterMinEpochPrecondition: a read demanding a future prefix gets
+// 412, and a read demanding the current floor succeeds.
+func TestRouterMinEpochPrecondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.PowerLaw(rng, 100, 4, false)
+	rt, _ := startCluster(t, g, 2, 0)
+	h := rt.Handler()
+
+	b := gen.RandomUpdates(rng, g, 20, 1.0)
+	if w, _ := postBatch(t, h, b, true); w.Code != http.StatusOK {
+		t.Fatalf("update: %d", w.Code)
+	}
+	floor := rt.Floor()
+	if w, _ := queryRouter(t, h, "sssp", floor.String()); w.Code != http.StatusOK {
+		t.Fatalf("read-your-writes at floor %v refused: %d", floor, w.Code)
+	}
+	future := floor.Clone()
+	for i := range future {
+		future[i] += 1000
+	}
+	if w, _ := queryRouter(t, h, "sssp", future.String()); w.Code != http.StatusPreconditionFailed {
+		t.Fatalf("future prefix demand returned %d, want 412", w.Code)
+	}
+	if w, _ := queryRouter(t, h, "sssp", "%%%bad-token"); w.Code != http.StatusBadRequest {
+		t.Fatal("garbage min-epoch token accepted")
+	}
+}
+
+func TestTablePromote(t *testing.T) {
+	table := NewTable([]string{"http://a", "http://b"})
+	if r := table.Replica(0); r != "" {
+		t.Fatalf("replica %q reported where none registered", r)
+	}
+	table.SetReplica(0, "http://a2")
+	addr, healthy := table.Active(0)
+	if addr != "http://a" || !healthy {
+		t.Fatalf("active = %q healthy=%v", addr, healthy)
+	}
+	table.SetHealth(0, false)
+	if _, healthy := table.Active(0); healthy {
+		t.Fatal("health flag ignored")
+	}
+	if addr, err := table.Promote(0); err != nil || addr != "http://a2" {
+		t.Fatalf("promote: addr=%q err=%v", addr, err)
+	}
+	addr, healthy = table.Active(0)
+	if addr != "http://a2" || !healthy {
+		t.Fatalf("after promote: active = %q healthy=%v", addr, healthy)
+	}
+	snap := table.Snapshot()
+	if len(snap) != 2 || snap[0].Generation == 0 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if _, err := table.Promote(1); err == nil {
+		t.Fatal("promote without replica succeeded")
+	}
+}

@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"incgraph/internal/graph"
+	"incgraph/internal/serve"
+)
+
+// This file is the shard-side half of the exchange protocol: the
+// endpoints a shard daemon mounts on its serve.Service so the router
+// can drive boundary-value exchange rounds against it.
+//
+//	GET  /shard/info        Info: identity, partitioner, epoch
+//	POST /shard/eval/sssp   EvalRequest → EvalResponse (seeded relaxation)
+//
+// The evaluation runs through Host.WithState, which queues behind every
+// accepted submission and executes inside the apply loop — so it reads
+// the maintainer's graph without breaking the single-writer contract,
+// and the reported epoch states exactly which stream prefix the
+// returned vector answers for.
+
+// Info is the JSON body of GET /shard/info: the daemon's shard identity.
+type Info struct {
+	// Shard is this daemon's shard id; Shards the topology width.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Partitioner names the vertex-ownership scheme; router and shard
+	// must agree on it for routing to mean anything.
+	Partitioner string `json:"partitioner"`
+	// Nodes is the graph's global node count (fragments keep every
+	// node), and Directed its edge mode — the two facts a router needs
+	// to validate and split batches.
+	Nodes    int  `json:"nodes"`
+	Directed bool `json:"directed"`
+	// Replica reports whether the daemon is a warm replica (not yet
+	// promoted).
+	Replica bool `json:"replica,omitempty"`
+	// Epochs maps hosted algos to their published view epochs.
+	Epochs map[string]uint64 `json:"epochs,omitempty"`
+}
+
+// EvalRequest asks a shard for one seeded local evaluation round. Seeds
+// are sparse (vertex, value) pairs — only finite entries are shipped.
+type EvalRequest struct {
+	// Seeds lists [vertex, value] pairs seeding the relaxation.
+	Seeds [][2]int64 `json:"seeds"`
+}
+
+// EvalResponse is a shard's answer to one evaluation round.
+type EvalResponse struct {
+	// Algo echoes the evaluated query class.
+	Algo string `json:"algo"`
+	// Epoch is the shard's stream position the evaluation saw.
+	Epoch uint64 `json:"epoch"`
+	// Values is the dense result vector (distances for sssp).
+	Values []int64 `json:"values"`
+}
+
+// maxEvalBody bounds the eval request body (seeds are at most one pair
+// per vertex; 32 MiB covers millions of entries).
+const maxEvalBody = 32 << 20
+
+// MountShardAPI grafts the shard-side endpoints onto svc's API. id is
+// this daemon's slot; nodes and directed describe the global graph;
+// replica (optional) marks a warm follower, which Info advertises. Call
+// before svc.Handler().
+func MountShardAPI(svc *serve.Service, p Partitioner, id, nodes int, directed bool, replica func() bool) {
+	svc.Mount("GET /shard/info", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		info := Info{
+			Shard: id, Shards: p.Shards(), Partitioner: p.Name(),
+			Nodes: nodes, Directed: directed, Epochs: map[string]uint64{},
+		}
+		if replica != nil {
+			info.Replica = replica()
+		}
+		for _, h := range svc.Hosts() {
+			info.Epochs[h.Algo()] = h.View().Epoch
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(info)
+	}))
+	svc.Mount("POST /shard/eval/{algo}", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		algo := r.PathValue("algo")
+		h := svc.Get(algo)
+		if h == nil {
+			http.Error(w, fmt.Sprintf("unknown algo %q", algo), http.StatusNotFound)
+			return
+		}
+		var req EvalRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEvalBody)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		values, epoch, err := evalHost(h, algo, req.Seeds)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(EvalResponse{Algo: algo, Epoch: epoch, Values: values})
+	}))
+}
+
+// evalHost runs one seeded evaluation inside h's apply loop. Only sssp
+// has a seeded round today — CC's exchange is a single label union the
+// router computes from published views, needing no shard round-trip.
+func evalHost(h *serve.Host, algo string, pairs [][2]int64) (values []int64, epoch uint64, err error) {
+	if algo != "sssp" {
+		return nil, 0, fmt.Errorf("algo %q has no seeded evaluation (exchange uses published views)", algo)
+	}
+	err = h.WithState(func(m serve.Serveable) error {
+		g := m.Graph()
+		seeds := make([]int64, g.NumNodes())
+		for i := range seeds {
+			seeds[i] = graph.Infinity
+		}
+		for _, p := range pairs {
+			v, d := p[0], p[1]
+			if v < 0 || v >= int64(len(seeds)) {
+				return fmt.Errorf("seed vertex %d out of range [0,%d)", v, len(seeds))
+			}
+			if d < 0 {
+				return fmt.Errorf("negative seed value %d for vertex %d", d, v)
+			}
+			if d < seeds[v] {
+				seeds[v] = d
+			}
+		}
+		values = SeededSSSP(g, seeds)
+		epoch = h.Stats().Epoch
+		return nil
+	})
+	return values, epoch, err
+}

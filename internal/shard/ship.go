@@ -1,0 +1,370 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"incgraph/internal/serve"
+	"incgraph/internal/wal"
+)
+
+// This file is the replication half of sharded serving: log shipping.
+// A primary shard daemon exposes its WAL through (*wal.Log).StreamHandler
+// (mounted under /wal/); a warm replica runs a Follower, which pulls
+// segment bytes and checkpoints into its own data directory and replays
+// every newly complete record through the same Apply path recovery
+// uses. Promotion is then cheap: stop the follower loop, read off the
+// per-algo stream positions it reached, and host the maintainers from
+// exactly that base. Replication is asynchronous — updates acked by the
+// primary but not yet shipped are lost on promotion, and the epoch
+// vector is what makes that loss visible instead of silent.
+
+// PullWAL mirrors the primary's WAL directory into dir: the newest
+// checkpoint (if any, fetched once) and every listed segment's missing
+// byte range. src is the primary's base URL; the stream endpoints are
+// expected under src+"/wal". It returns the number of segment bytes
+// fetched. Safe to call repeatedly; each call ships only what is new.
+func PullWAL(ctx context.Context, hc *http.Client, src, dir string) (int64, error) {
+	if hc == nil {
+		hc = defaultShardClient
+	}
+	var lst wal.StreamListing
+	if err := getJSON(ctx, hc, src+"/wal/segments", &lst); err != nil {
+		return 0, fmt.Errorf("shard: list segments: %w", err)
+	}
+	if lst.CheckpointSeq > 0 {
+		name := wal.CheckpointName(lst.CheckpointSeq)
+		if _, err := os.Stat(filepath.Join(dir, name)); os.IsNotExist(err) {
+			if err := fetchToFile(ctx, hc, src+"/wal/checkpoint", filepath.Join(dir, name)); err != nil {
+				return 0, fmt.Errorf("shard: fetch checkpoint: %w", err)
+			}
+		}
+	}
+	var shipped int64
+	for _, seg := range lst.Segments {
+		n, err := pullSegment(ctx, hc, src, dir, seg)
+		shipped += n
+		if err != nil {
+			return shipped, err
+		}
+	}
+	return shipped, nil
+}
+
+// pullSegment ships the missing suffix of one segment, chunk by chunk,
+// up to the size the listing reported (later bytes arrive next cycle).
+func pullSegment(ctx context.Context, hc *http.Client, src, dir string, seg wal.SegmentInfo) (int64, error) {
+	path := filepath.Join(dir, wal.SegmentName(seg.Seq))
+	var local int64
+	if fi, err := os.Stat(path); err == nil {
+		local = fi.Size()
+	}
+	var shipped int64
+	for local < seg.Size {
+		url := fmt.Sprintf("%s/wal/segment/%d?off=%d", src, seg.Seq, local)
+		n, err := appendToFile(ctx, hc, url, path)
+		shipped += n
+		if err != nil {
+			return shipped, fmt.Errorf("shard: ship %s: %w", wal.SegmentName(seg.Seq), err)
+		}
+		if n == 0 {
+			break // primary pruned or truncated the listing raced; retry next cycle
+		}
+		local += n
+	}
+	return shipped, nil
+}
+
+func getJSON(ctx context.Context, hc *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// fetchToFile downloads url into path atomically (tmp + rename), so a
+// crashed fetch never leaves a torn checkpoint with a valid name.
+func fetchToFile(ctx context.Context, hc *http.Client, url, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ship-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := io.Copy(tmp, resp.Body); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// appendToFile streams url's body onto the end of path, returning the
+// byte count. Segments are append-only on both sides, so plain O_APPEND
+// is exact.
+func appendToFile(ctx context.Context, hc *http.Client, url, path string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// FollowerOptions configure a warm replica's ship-and-replay loop.
+type FollowerOptions struct {
+	// Source is the primary's base URL (WAL endpoints under /wal).
+	Source string
+	// Dir is the local data directory the WAL is shipped into — the
+	// directory the replica will serve durably from after promotion.
+	Dir string
+	// Targets maps algo names to un-hosted maintainers the replayed
+	// records are applied to. The follower is their only writer until
+	// promotion.
+	Targets map[string]serve.Serveable
+	// ReplayFrom is the first WAL segment to tail (a recovered
+	// checkpoint's ReplayFrom; 0 tails from the oldest shipped segment).
+	ReplayFrom uint64
+	// BaseEpochs/BaseBatches seed the per-algo stream accounting with
+	// the recovered checkpoint's positions.
+	BaseEpochs  map[string]uint64
+	BaseBatches map[string]uint64
+	// Interval is the poll cadence (default 100ms — replication lag is
+	// bounded by this plus transfer time).
+	Interval time.Duration
+	// Client overrides the HTTP client used against the primary.
+	Client *http.Client
+	// Logf receives follower progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Follower runs continuous log shipping for one replica: pull new WAL
+// bytes from the primary, replay newly complete records into the target
+// maintainers, repeat. All applies happen on the follower goroutine, so
+// the maintainers see a single writer — the same contract the serving
+// apply loop provides.
+type Follower struct {
+	opt  FollowerOptions
+	tail *wal.Tail
+
+	mu      sync.Mutex
+	epochs  map[string]uint64
+	batches map[string]uint64
+	shipped int64
+	records uint64
+	lastErr error
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewFollower builds a follower; call Run (usually in a goroutine) to
+// start shipping.
+func NewFollower(opt FollowerOptions) *Follower {
+	if opt.Interval <= 0 {
+		opt.Interval = 100 * time.Millisecond
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	f := &Follower{
+		opt:     opt,
+		tail:    wal.NewTail(opt.Dir, opt.ReplayFrom),
+		epochs:  make(map[string]uint64),
+		batches: make(map[string]uint64),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for a, e := range opt.BaseEpochs {
+		f.epochs[a] = e
+	}
+	for a, b := range opt.BaseBatches {
+		f.batches[a] = b
+	}
+	return f
+}
+
+// Run ships and replays until Stop. It returns after the final
+// drain: one last replay pass over whatever bytes made it to disk, so a
+// promotion sees every shipped record applied.
+func (f *Follower) Run() {
+	f.startOnce.Do(func() {
+		defer close(f.done)
+		tick := time.NewTicker(f.opt.Interval)
+		defer tick.Stop()
+		for {
+			f.cycle()
+			select {
+			case <-f.stop:
+				// Final drain: the primary may be gone (that is why we
+				// are stopping), but locally shipped bytes must all be
+				// applied before the replica can serve.
+				f.replayLocal()
+				return
+			case <-tick.C:
+			}
+		}
+	})
+}
+
+// cycle is one pull+replay round.
+func (f *Follower) cycle() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	n, err := PullWAL(ctx, f.opt.Client, f.opt.Source, f.opt.Dir)
+	f.mu.Lock()
+	f.shipped += n
+	f.lastErr = err
+	f.mu.Unlock()
+	if err != nil {
+		f.opt.Logf("follower: pull from %s: %v", f.opt.Source, err)
+	}
+	f.replayLocal()
+}
+
+// replayLocal advances the tail over shipped bytes, applying each record
+// to its targets with the same coalescing the serving path uses.
+func (f *Follower) replayLocal() {
+	emitted, err := f.tail.Advance(func(rec wal.Record) error {
+		apply := func(name string, m serve.Serveable) {
+			m.Apply(rec.Batch.Net(m.Graph().Directed()))
+			f.mu.Lock()
+			f.epochs[name] += uint64(len(rec.Batch))
+			f.batches[name]++
+			f.mu.Unlock()
+		}
+		if rec.Algo == "" {
+			for name, m := range f.opt.Targets {
+				apply(name, m)
+			}
+			return nil
+		}
+		if m, ok := f.opt.Targets[rec.Algo]; ok {
+			apply(rec.Algo, m)
+		}
+		return nil
+	})
+	f.mu.Lock()
+	f.records += uint64(emitted)
+	if err != nil {
+		f.lastErr = err
+	}
+	f.mu.Unlock()
+	if err != nil {
+		f.opt.Logf("follower: replay: %v", err)
+	}
+	if emitted > 0 {
+		f.opt.Logf("follower: replayed %d records (epochs %v)", emitted, f.Epochs())
+	}
+}
+
+// Stop halts the loop and blocks until the final local drain finished.
+// After Stop returns, the targets reflect every shipped record and no
+// goroutine touches them — the caller may host them.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	<-f.done
+}
+
+// Epochs returns the per-algo stream positions the replica has applied
+// up to — the BaseEpoch a promoted host must resume from.
+func (f *Follower) Epochs() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]uint64, len(f.epochs))
+	for a, e := range f.epochs {
+		out[a] = e
+	}
+	return out
+}
+
+// Batches returns the per-algo applied record counts (the BaseBatches
+// for promotion).
+func (f *Follower) Batches() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]uint64, len(f.batches))
+	for a, b := range f.batches {
+		out[a] = b
+	}
+	return out
+}
+
+// Status reports the follower's replication progress.
+func (f *Follower) Status() FollowerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FollowerStatus{
+		Source:       f.opt.Source,
+		ShippedBytes: f.shipped,
+		Records:      f.records,
+		Epochs:       make(map[string]uint64, len(f.epochs)),
+	}
+	if f.lastErr != nil {
+		st.LastError = f.lastErr.Error()
+	}
+	for a, e := range f.epochs {
+		st.Epochs[a] = e
+	}
+	return st
+}
+
+// FollowerStatus is the JSON shape of a replica's /replica/status.
+type FollowerStatus struct {
+	// Source is the primary being followed.
+	Source string `json:"source"`
+	// ShippedBytes counts segment bytes fetched since start.
+	ShippedBytes int64 `json:"shipped_bytes"`
+	// Records counts WAL records replayed (lifetime of the tail).
+	Records uint64 `json:"records"`
+	// Epochs are the per-algo stream positions applied so far.
+	Epochs map[string]uint64 `json:"epochs"`
+	// LastError is the most recent pull/replay error, "" when healthy.
+	LastError string `json:"last_error,omitempty"`
+}

@@ -1,0 +1,60 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"incgraph/internal/graph"
+)
+
+// FuzzSplitBatch drives the router's ingest path — wire decode, then
+// split by owning shard — with arbitrary bytes. The decoder must never
+// panic on torn input, and any batch it accepts must split with full
+// coverage: every update reaches each owning shard exactly once, and no
+// shard receives an update it does not own.
+func FuzzSplitBatch(f *testing.F) {
+	seed := graph.Batch{
+		{Kind: graph.InsertEdge, From: 0, To: 1, W: 5},
+		{Kind: graph.DeleteEdge, From: 1, To: 2, W: 1},
+		{Kind: graph.InsertEdge, From: 3, To: 0, W: 9},
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteBatch(&buf, seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes(), uint8(2), true)
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2], uint8(3), false) // torn frame
+	f.Add([]byte{}, uint8(1), true)
+	f.Add([]byte{0xff, 0x00, 0x41}, uint8(4), false)
+	f.Fuzz(func(t *testing.T, data []byte, shards uint8, directed bool) {
+		b, err := graph.ReadBatch(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := int(shards%8) + 1
+		p := NewHashPartitioner(n)
+		parts := SplitBatch(p, directed, b)
+		if len(parts) != n {
+			t.Fatalf("split into %d parts, want %d", len(parts), n)
+		}
+		total := 0
+		for id, sb := range parts {
+			total += len(sb)
+			for _, u := range sb {
+				if !OwnsEdge(p, directed, id, u.From, u.To) {
+					t.Fatalf("shard %d received unowned update %v", id, u)
+				}
+			}
+		}
+		want := 0
+		for _, u := range b {
+			want++
+			if !directed && IsCut(p, u.From, u.To) {
+				want++
+			}
+		}
+		if total != want {
+			t.Fatalf("split carries %d updates, want %d (batch %v)", total, want, b)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Table is the routing truth shared between the router (reads: who
+// serves shard i right now, and are they healthy) and the supervisor
+// (writes: health transitions and replica promotions). It is the only
+// mutable coupling between the two — the router never spawns processes
+// and the supervisor never sees a request.
+type Table struct {
+	mu    sync.RWMutex
+	slots []slot
+}
+
+type slot struct {
+	// primary and replica are base URLs; active is which one requests
+	// currently route to.
+	primary, replica string
+	active           string
+	// generation counts promotions, so observers can tell "same address
+	// again" from "flapped and came back".
+	generation int
+	healthy    bool
+}
+
+// SlotInfo is the observable state of one routing slot, as reported by
+// the router's /shards endpoint.
+type SlotInfo struct {
+	// Shard is the slot's shard id.
+	Shard int `json:"shard"`
+	// Active is the base URL requests currently route to.
+	Active string `json:"active"`
+	// Primary and Replica are the configured member URLs ("" when the
+	// slot has no replica).
+	Primary string `json:"primary"`
+	Replica string `json:"replica,omitempty"`
+	// Generation counts promotions on this slot.
+	Generation int `json:"generation"`
+	// Healthy is the latest probe verdict for the active member.
+	Healthy bool `json:"healthy"`
+}
+
+// NewTable builds a table routing shard i to primaries[i], with no
+// replicas and every slot presumed healthy until a probe says
+// otherwise.
+func NewTable(primaries []string) *Table {
+	t := &Table{slots: make([]slot, len(primaries))}
+	for i, addr := range primaries {
+		t.slots[i] = slot{primary: addr, active: addr, healthy: true}
+	}
+	return t
+}
+
+// Shards returns the number of slots.
+func (t *Table) Shards() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.slots)
+}
+
+// Active returns the base URL currently serving shard i and whether the
+// last health verdict for it was positive.
+func (t *Table) Active(i int) (addr string, healthy bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i < 0 || i >= len(t.slots) {
+		return "", false
+	}
+	return t.slots[i].active, t.slots[i].healthy
+}
+
+// SetReplica registers a warm replica address for shard i.
+func (t *Table) SetReplica(i int, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i >= 0 && i < len(t.slots) {
+		t.slots[i].replica = addr
+	}
+}
+
+// Replica returns shard i's configured replica address ("" if none).
+func (t *Table) Replica(i int) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i < 0 || i >= len(t.slots) {
+		return ""
+	}
+	return t.slots[i].replica
+}
+
+// SetHealth records a probe verdict for shard i's active member.
+func (t *Table) SetHealth(i int, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i >= 0 && i < len(t.slots) {
+		t.slots[i].healthy = ok
+	}
+}
+
+// Promote flips shard i's active member to its replica, bumps the
+// generation, and marks the slot healthy (the caller just confirmed the
+// replica responds). The replaced member becomes the slot's replica
+// candidate so a later restart can fill the role. It fails when the
+// slot has no replica to promote.
+func (t *Table) Promote(i int) (addr string, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= len(t.slots) {
+		return "", fmt.Errorf("shard: promote: no slot %d", i)
+	}
+	s := &t.slots[i]
+	if s.replica == "" {
+		return "", fmt.Errorf("shard %d: no replica to promote", i)
+	}
+	old := s.active
+	s.active = s.replica
+	s.replica = old
+	s.generation++
+	s.healthy = true
+	return s.active, nil
+}
+
+// Snapshot returns the observable state of every slot.
+func (t *Table) Snapshot() []SlotInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]SlotInfo, len(t.slots))
+	for i, s := range t.slots {
+		out[i] = SlotInfo{
+			Shard:      i,
+			Active:     s.active,
+			Primary:    s.primary,
+			Replica:    s.replica,
+			Generation: s.generation,
+			Healthy:    s.healthy,
+		}
+	}
+	return out
+}
