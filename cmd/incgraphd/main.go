@@ -77,8 +77,10 @@
 // With -replica-of URL the daemon is a warm replica: it continuously
 // ships the primary's WAL segments into its own -data-dir (required)
 // and replays every record through the recovery path, staying one poll
-// interval behind. It serves only /healthz, /shard/info and
-// /replica/status until POST /replica/promote, which seals the follower
+// interval behind. It serves only /healthz, /shard/info,
+// /replica/status, and the observability surface (/metrics,
+// /metrics.json with live replication-lag gauges, /debug/trace with
+// per-record replay spans) until POST /replica/promote, which seals the follower
 // loop, hosts the replayed maintainers at the shipped stream position,
 // opens the local WAL for writing, and atomically swaps in the full
 // serving API. Replication is asynchronous: updates the primary
@@ -311,6 +313,13 @@ func run(logger *slog.Logger, c *cliFlags) error {
 	}
 
 	svc := incgraph.NewService()
+	// Name the flight recorder's process so a cluster-merged timeline
+	// shows "shard-2", not four processes all called "incgraph".
+	if part != nil {
+		svc.Recorder().SetProcess(fmt.Sprintf("shard-%d", c.shardID))
+	} else {
+		svc.Recorder().SetProcess("incgraphd")
+	}
 
 	// With a data directory, recovery runs before any host starts: restore
 	// each maintainer from the latest checkpoint (falling back to a fresh
@@ -530,6 +539,15 @@ func runReplica(logger *slog.Logger, c *cliFlags, base *incgraph.Graph, pat *inc
 		ra := rec.Algos[algo]
 		baseEpochs[algo], baseBatches[algo] = ra.Epoch, ra.Batches
 	}
+	// The service exists before the follower so its registry carries the
+	// replication-lag gauges and its recorder the replay spans from the
+	// first shipped record — the replica is observable before promotion.
+	svc := incgraph.NewService()
+	if c.shardID >= 0 {
+		svc.Recorder().SetProcess(fmt.Sprintf("replica-%d", c.shardID))
+	} else {
+		svc.Recorder().SetProcess("replica")
+	}
 	follower := shard.NewFollower(shard.FollowerOptions{
 		Source:      c.replicaOf,
 		Dir:         c.dataDir,
@@ -538,6 +556,8 @@ func runReplica(logger *slog.Logger, c *cliFlags, base *incgraph.Graph, pat *inc
 		BaseEpochs:  baseEpochs,
 		BaseBatches: baseBatches,
 		Client:      hc,
+		Registry:    svc.Registry(),
+		Recorder:    svc.Recorder(),
 		Logf: func(format string, args ...any) {
 			logger.Debug(fmt.Sprintf(format, args...))
 		},
@@ -545,8 +565,6 @@ func runReplica(logger *slog.Logger, c *cliFlags, base *incgraph.Graph, pat *inc
 	go follower.Run()
 	logger.Info("following", "primary", c.replicaOf, "dir", c.dataDir,
 		"replay_from", rec.ReplayFrom, "checkpoint_epoch", rec.CheckpointEpoch)
-
-	svc := incgraph.NewService()
 	var promoted atomic.Bool
 	var handler atomic.Value // http.Handler: replica mux, then the full API
 
@@ -613,6 +631,11 @@ func runReplica(logger *slog.Logger, c *cliFlags, base *incgraph.Graph, pat *inc
 	mux.HandleFunc("GET /replica/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, follower.Status())
 	})
+	// Replication lag and replay spans are observable before promotion:
+	// the router's /cluster/metrics and /debug/cluster/trace scrape these.
+	mux.Handle("GET /metrics", svc.Registry().Handler())
+	mux.Handle("GET /metrics.json", svc.Registry().JSONHandler())
+	mux.Handle("GET /debug/trace", svc.Recorder().Handler())
 	mux.HandleFunc("GET /shard/info", func(w http.ResponseWriter, r *http.Request) {
 		info := shard.Info{Nodes: base.NumNodes(), Directed: base.Directed(), Replica: true, Epochs: follower.Epochs()}
 		if part != nil {

@@ -5,16 +5,21 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"os/exec"
+	"strconv"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"incgraph"
+	"incgraph/internal/obs"
 	"incgraph/internal/shard"
+	"incgraph/internal/trace"
 )
 
 // TestShardedE2E is the full crash-promotion drill over real processes:
@@ -56,10 +61,12 @@ func TestShardedE2E(t *testing.T) {
 	}
 	specs, primaries := childSpecs(c)
 	table := shard.NewTable(primaries)
+	events := obs.NewRing[shard.TopologyEvent](64)
 	sup, err := shard.NewSupervisor(shard.SupervisorOptions{
 		Table:         table,
 		Specs:         specs,
 		ProbeInterval: 100 * time.Millisecond,
+		Events:        events,
 		Logf:          t.Logf,
 	})
 	if err != nil {
@@ -85,6 +92,7 @@ func TestShardedE2E(t *testing.T) {
 	}
 	router, err := shard.NewRouter(shard.RouterOptions{
 		Part: part, Table: table, Directed: true, NumNodes: nodes,
+		Events: events,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -138,6 +146,14 @@ func TestShardedE2E(t *testing.T) {
 		oracle.Apply(b)
 	}
 
+	// One traced batch: the client-supplied traceparent must come back on
+	// the distributed timeline from every process that touched the batch.
+	tid := postTraced(t, h, func() incgraph.Batch {
+		b := nextBatch(20)
+		oracle.Apply(b)
+		return b
+	}())
+
 	// Quiesce: wait until shard 0's replica has replayed everything the
 	// primary acked, so the promotion loses nothing and the oracle stays
 	// exact. (Replication is async; acked-but-unshipped tail updates are
@@ -149,6 +165,14 @@ func TestShardedE2E(t *testing.T) {
 		t.Fatal("no replica registered for shard 0")
 	}
 	waitCaughtUp(t, primary0, replica0, 30*time.Second)
+
+	// Cluster observability over the live topology: the merged timeline
+	// must show the traced batch on the router and both shards (and the
+	// replica's replay, now that it has caught up)...
+	checkClusterTrace(t, h, tid)
+	// ...and the federated metrics must carry per-shard apply latency,
+	// replication lag, and epoch skew — present and numeric.
+	checkClusterMetrics(t, h)
 
 	// Kill -9 the shard 0 primary and wait for the supervisor to promote.
 	pid, ok := sup.Pid("shard0")
@@ -221,6 +245,144 @@ func TestShardedE2E(t *testing.T) {
 			t.Fatalf("label[%d] = %d, want %d", v, q.Data.Labels[v], wantLabels[v])
 		}
 	}
+
+	// The supervisor's actions left an audit trail at /cluster/events:
+	// the kill shows up as probe failures (or a child exit) and exactly
+	// the promotion we observed.
+	kinds := map[string]int{}
+	for _, ev := range events.Snapshot() {
+		kinds[ev.Kind]++
+	}
+	if kinds["promote"] == 0 {
+		t.Fatalf("no promote event recorded; events = %v", kinds)
+	}
+	if kinds["spawn"] < 4 {
+		t.Fatalf("expected 4 spawn events, got %v", kinds)
+	}
+}
+
+// postTraced posts one batch through the router with a client-supplied
+// traceparent and returns its trace ID.
+func postTraced(t *testing.T, h http.Handler, b incgraph.Batch) trace.TraceID {
+	t.Helper()
+	tid := trace.NewTraceID()
+	end := time.Now().Add(30 * time.Second)
+	for {
+		var buf bytes.Buffer
+		if err := incgraph.WriteBatch(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/update?wait=1", &buf)
+		req.Header.Set("traceparent", trace.FormatTraceparent(tid, trace.NewSpanID()))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		var res struct {
+			Applied bool `json:"applied"`
+		}
+		json.Unmarshal(w.Body.Bytes(), &res)
+		if w.Code == http.StatusOK && res.Applied {
+			return tid
+		}
+		if time.Now().After(end) {
+			t.Fatalf("traced batch never applied (last status %d)", w.Code)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// checkClusterTrace asserts the merged timeline contains the traced
+// request's spans from the router and every shard process (retrying
+// briefly: shard rings are written asynchronously to the ack).
+func checkClusterTrace(t *testing.T, h http.Handler, tid trace.TraceID) {
+	t.Helper()
+	end := time.Now().Add(15 * time.Second)
+	for {
+		req := httptest.NewRequest(http.MethodGet, "/debug/cluster/trace?trace="+tid.String(), nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("cluster trace: %d %s", w.Code, w.Body.String())
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string         `json:"name"`
+				Ph   string         `json:"ph"`
+				PID  int            `json:"pid"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("cluster trace not JSON: %v", err)
+		}
+		procs := map[int]string{}
+		spans := map[string]int{}
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "M" && ev.Name == "process_name" {
+				procs[ev.PID], _ = ev.Args["name"].(string)
+			}
+		}
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph != "M" {
+				spans[procs[ev.PID]]++
+			}
+		}
+		if spans["router"] > 0 && spans["shard-0"] > 0 && spans["shard-1"] > 0 && spans["replica-0"] > 0 {
+			return
+		}
+		if time.Now().After(end) {
+			t.Fatalf("merged timeline incomplete: spans per process = %v", spans)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// checkClusterMetrics asserts the federated exposition carries the
+// series the CI gate requires — per-shard apply latency, replica
+// lag-seconds, epoch skew — all present with numeric values.
+func checkClusterMetrics(t *testing.T, h http.Handler) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/cluster/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("cluster metrics: %d", w.Code)
+	}
+	body := w.Body.String()
+	mustSeries := func(name string, labels ...string) {
+		t.Helper()
+		for _, line := range strings.Split(body, "\n") {
+			if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "#") {
+				continue
+			}
+			rest := line[len(name):]
+			if rest == "" || (rest[0] != '{' && rest[0] != ' ') {
+				continue
+			}
+			ok := true
+			for _, l := range labels {
+				if !strings.Contains(line, l) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil || math.IsNaN(v) {
+				t.Fatalf("series %s has non-numeric value in %q (err %v)", name, line, err)
+			}
+			return
+		}
+		t.Fatalf("federated metrics missing %s%v:\n%s", name, labels, body)
+	}
+	mustSeries("incgraph_apply_latency_seconds_count", `shard="0"`, `role="primary"`)
+	mustSeries("incgraph_apply_latency_seconds_count", `shard="1"`, `role="primary"`)
+	mustSeries("incgraph_replica_lag_seconds", `shard="0"`, `role="replica"`)
+	mustSeries("incrouter_cluster_epoch_skew")
+	mustSeries("incrouter_cluster_replica_lag_seconds")
+	mustSeries("incrouter_cluster_apply_latency_seconds_count")
 }
 
 // waitCaughtUp blocks until the replica's replayed per-algo epochs match

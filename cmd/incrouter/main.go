@@ -35,6 +35,18 @@
 //	GET  /shards           routing table: members, health, generations
 //	GET  /metrics          router metrics (Prometheus text format)
 //	GET  /healthz          router liveness
+//
+// Cluster observability (see README "Cluster observability"):
+//
+//	GET  /debug/cluster/trace  merged Perfetto timeline across router,
+//	                           shards, and replicas (?trace= filters to
+//	                           one request's spans)
+//	GET  /cluster/metrics      every member's metrics federated under
+//	                           shard/role labels, plus cluster rollups
+//	                           (apply-latency merge, epoch skew,
+//	                           replica lag, total sheds)
+//	GET  /cluster/health       per-member liveness, epochs, generations
+//	GET  /cluster/events       recent supervisor topology events
 package main
 
 import (
@@ -52,6 +64,8 @@ import (
 	"syscall"
 	"time"
 
+	"incgraph"
+	"incgraph/internal/obs"
 	"incgraph/internal/shard"
 )
 
@@ -61,6 +75,7 @@ type routerFlags struct {
 	shardAddrs   string
 	replicaAddrs string
 	logLevel     string
+	accessLog    bool
 
 	spawn     bool
 	incgraphd string
@@ -87,6 +102,7 @@ func newRouterFlags(fs *flag.FlagSet) *routerFlags {
 	fs.StringVar(&c.shardAddrs, "shard-addrs", "", "comma-separated shard base URLs (externally managed topology)")
 	fs.StringVar(&c.replicaAddrs, "replica-addrs", "", "comma-separated warm-replica base URLs, aligned with -shard-addrs (empty entries allowed)")
 	fs.StringVar(&c.logLevel, "log-level", "info", "log verbosity: debug|info|warn|error")
+	fs.BoolVar(&c.accessLog, "access-log", false, "log every HTTP request (method, path, status, duration, trace ID)")
 
 	fs.BoolVar(&c.spawn, "spawn", false, "spawn and supervise the shard topology as child processes")
 	fs.StringVar(&c.incgraphd, "incgraphd", "incgraphd", "path to the incgraphd binary (with -spawn)")
@@ -233,10 +249,14 @@ func run(logger *slog.Logger, c *routerFlags) error {
 
 	// The supervisor runs in both modes: with children it spawns,
 	// restarts, probes, and promotes; with none it is purely the prober
-	// and failover agent for an externally managed topology.
+	// and failover agent for an externally managed topology. The event
+	// ring is shared with the router so supervisor actions (spawns,
+	// probe failures, promotions) surface at GET /cluster/events.
+	events := obs.NewRing[shard.TopologyEvent](256)
 	sup, err := shard.NewSupervisor(shard.SupervisorOptions{
-		Table: table,
-		Specs: specs,
+		Table:  table,
+		Specs:  specs,
+		Events: events,
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
@@ -270,12 +290,17 @@ func run(logger *slog.Logger, c *routerFlags) error {
 		Table:    table,
 		Directed: info.Directed,
 		NumNodes: info.Nodes,
+		Events:   events,
 	})
 	if err != nil {
 		return err
 	}
 
-	srv := &http.Server{Addr: c.listen, Handler: router.Handler()}
+	handler := router.Handler()
+	if c.accessLog {
+		handler = incgraph.AccessLog(logger, handler)
+	}
+	srv := &http.Server{Addr: c.listen, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

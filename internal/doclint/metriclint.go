@@ -1,0 +1,158 @@
+package doclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric-name lint: the observability plane federates every member's
+// metrics into one exposition, so naming discipline is a cross-process
+// contract, not a style preference. A shard that registers
+// "apply_latency" instead of "incgraph_apply_latency_seconds" silently
+// escapes the router's rollups and the CI scrape gate. This checker
+// statically audits every registration site (Registry.Counter / Gauge /
+// GaugeFunc / Histogram and Federation.Add / AddHistogram with literal
+// names) against the repository's conventions.
+
+// MetricFinding is one metric name that violates a naming rule.
+type MetricFinding struct {
+	// Pos is the registration site, formatted "file:line".
+	Pos string
+	// Name is the offending metric name literal.
+	Name string
+	// Rule describes the violated convention.
+	Rule string
+}
+
+// String renders the finding as a file:line diagnostic.
+func (f MetricFinding) String() string {
+	return fmt.Sprintf("%s: metric %q %s", f.Pos, f.Name, f.Rule)
+}
+
+// metricNameRE is the shape every registered series name must have: a
+// process-identifying prefix, then lowercase snake-case.
+var metricNameRE = regexp.MustCompile(`^(incgraph|incrouter)_[a-z][a-z0-9_]*$`)
+
+// registrars maps the method names whose first string-literal argument
+// is a metric name to the metric kind they register. Federation.Add's
+// kind travels as its third argument instead and is resolved at the
+// call site.
+var registrars = map[string]string{
+	"Counter":      "counter",
+	"Gauge":        "gauge",
+	"GaugeFunc":    "gaugefunc",
+	"Histogram":    "histogram",
+	"AddHistogram": "histogram",
+}
+
+// CheckMetricNames parses every non-test .go file in dir and returns
+// one MetricFinding per literal metric registration that violates the
+// naming conventions:
+//
+//   - Names are prefixed "incgraph_" (member process) or "incrouter_"
+//     (router) and lowercase snake-case.
+//   - Counter names end in "_total" (Prometheus counter convention).
+//   - Plain Gauge names do not end in "_total". (GaugeFunc is exempt:
+//     it legitimately exposes externally-owned monotonic counts, e.g.
+//     WAL append totals.)
+//   - Any name mentioning "seconds" ends in "_seconds" or
+//     "_seconds_total" — unit-last, so dashboards sort by unit.
+//
+// Registrations whose name is not a string literal are skipped: the
+// checker is a convention gate, not a data-flow analysis.
+func CheckMetricNames(dir string) ([]MetricFinding, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []MetricFinding
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, checkMetricsFile(fset, f)...)
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Pos < findings[j].Pos })
+	return findings, nil
+}
+
+// checkMetricsFile collects metric-name findings from one parsed file.
+func checkMetricsFile(fset *token.FileSet, f *ast.File) []MetricFinding {
+	var findings []MetricFinding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		name, ok := stringLit(call.Args[0])
+		if !ok {
+			return true
+		}
+		kind, ok := registrars[sel.Sel.Name]
+		if !ok {
+			// Federation.Add(name, help, kind, v, ...): the kind is the
+			// third argument; anything else named Add is not a registrar.
+			if sel.Sel.Name != "Add" || len(call.Args) < 4 {
+				return true
+			}
+			if kind, ok = stringLit(call.Args[2]); !ok {
+				return true
+			}
+		}
+		pos := fset.Position(call.Args[0].Pos())
+		report := func(rule string) {
+			findings = append(findings, MetricFinding{
+				Pos:  fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line),
+				Name: name,
+				Rule: rule,
+			})
+		}
+		if !metricNameRE.MatchString(name) {
+			report(`lacks the incgraph_/incrouter_ prefix or is not lowercase snake-case`)
+			return true
+		}
+		if kind == "counter" && !strings.HasSuffix(name, "_total") {
+			report(`is a counter but does not end in "_total"`)
+		}
+		if kind == "gauge" && strings.HasSuffix(name, "_total") {
+			report(`is a gauge but ends in "_total"`)
+		}
+		if strings.Contains(name, "seconds") &&
+			!strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_seconds_total") {
+			report(`mentions seconds but does not end in "_seconds" or "_seconds_total"`)
+		}
+		return true
+	})
+	return findings
+}
+
+// stringLit unwraps a string-literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

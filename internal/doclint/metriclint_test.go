@@ -1,0 +1,86 @@
+package doclint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// metricAudited lists the packages whose metric registrations must obey
+// the naming conventions — every package that registers series which
+// end up in the router's federated /cluster/metrics exposition.
+var metricAudited = []string{
+	".",                 // root facade
+	"internal/fixpoint", // engine metrics
+	"internal/serve",    // serving + durability metrics
+	"internal/wal",      // (registers none today; keeps it that way honest)
+	"internal/shard",    // router, follower, and federation rollups
+	"internal/obs",      // the registry itself
+}
+
+func TestAuditedPackagesMetricNames(t *testing.T) {
+	for _, rel := range metricAudited {
+		findings, err := CheckMetricNames("../../" + rel)
+		if err != nil {
+			t.Fatalf("%s: %v", rel, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: %s", rel, f)
+		}
+	}
+}
+
+// lintSrc runs the metric checker over one in-memory file.
+func lintSrc(t *testing.T, src string) []MetricFinding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkMetricsFile(fset, f)
+}
+
+func TestMetricNameRules(t *testing.T) {
+	cases := []struct {
+		name, src, want string // want is a substring of the finding, "" = clean
+	}{
+		{"good counter",
+			`package p; var _ = reg.Counter("incgraph_updates_total", "h")`, ""},
+		{"counter missing _total",
+			`package p; var _ = reg.Counter("incgraph_updates", "h")`, `_total`},
+		{"bad prefix",
+			`package p; var _ = reg.Gauge("queue_depth", "h")`, "prefix"},
+		{"uppercase rejected",
+			`package p; var _ = reg.Gauge("incgraph_Queue", "h")`, "prefix"},
+		{"gauge with _total",
+			`package p; var _ = reg.Gauge("incgraph_x_total", "h")`, "gauge"},
+		{"gaugefunc may expose totals",
+			`package p; var _ = reg.GaugeFunc("incgraph_wal_appends_total", "h", f)`, ""},
+		{"seconds unit not last",
+			`package p; var _ = reg.Histogram("incgraph_seconds_wait", "h", 4)`, "seconds"},
+		{"seconds unit last",
+			`package p; var _ = reg.Histogram("incgraph_wait_seconds", "h", 4)`, ""},
+		{"federation add counter",
+			`package p; func f() { fed.Add("incrouter_cluster_sheds", "h", "counter", 1.0) }`, `_total`},
+		{"federation add gauge ok",
+			`package p; func f() { fed.Add("incrouter_cluster_epoch_skew", "h", "gauge", 1.0) }`, ""},
+		{"counter value add ignored",
+			`package p; func f() { c.Add(1.0) }`, ""},
+		{"non-literal name skipped",
+			`package p; func f(n string) { reg.Counter(n, "h") }`, ""},
+	}
+	for _, c := range cases {
+		findings := lintSrc(t, c.src)
+		if c.want == "" {
+			if len(findings) != 0 {
+				t.Errorf("%s: unexpected findings %v", c.name, findings)
+			}
+			continue
+		}
+		if len(findings) != 1 || !strings.Contains(findings[0].String(), c.want) {
+			t.Errorf("%s: findings %v, want one containing %q", c.name, findings, c.want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sort"
 	"sync/atomic"
 )
 
@@ -126,4 +127,104 @@ func (h *Histogram) Quantile(q float64) float64 {
 	// Concurrent writers raced count ahead of buckets; the max is the
 	// honest answer for the tail.
 	return h.Max()
+}
+
+// BucketCount is one occupied bucket in a HistogramSnapshot: the bucket
+// index (in this package's fixed log-bucket geometry) and its count.
+type BucketCount struct {
+	Index int    `json:"i"`
+	N     uint64 `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram in a
+// mergeable form: the sparse occupied buckets plus count, sum, and exact
+// max. Unlike the quantiles in the text exposition, snapshots from
+// different processes share the same bucket geometry and so can be
+// merged exactly — which is what makes a cluster-wide p99 computable
+// from per-shard scrapes.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Max     float64       `json:"max"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observes may
+// land between field reads; the snapshot is still internally usable (the
+// quantile walk falls back to max past the bucketed mass, like Quantile).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Max: h.Max()}
+	for i := 0; i < numBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Index: i, N: n})
+		}
+	}
+	return s
+}
+
+// Merge folds another snapshot into s. Both snapshots must come from
+// this package's bucket geometry; indexes outside it are clamped into
+// the under/overflow buckets rather than trusted.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	if len(o.Buckets) == 0 {
+		return
+	}
+	merged := make(map[int]uint64, len(s.Buckets)+len(o.Buckets))
+	for _, b := range s.Buckets {
+		merged[b.Index] += b.N
+	}
+	for _, b := range o.Buckets {
+		i := b.Index
+		if i < 0 {
+			i = 0
+		}
+		if i >= numBuckets {
+			i = numBuckets - 1
+		}
+		merged[i] += b.N
+	}
+	s.Buckets = s.Buckets[:0]
+	for i, n := range merged {
+		s.Buckets = append(s.Buckets, BucketCount{Index: i, N: n})
+	}
+	sort.Slice(s.Buckets, func(i, j int) bool { return s.Buckets[i].Index < s.Buckets[j].Index })
+}
+
+// Quantile estimates the q-quantile of the snapshot, with the same
+// contract as Histogram.Quantile: bucket-midpoint estimates, exact max
+// at q = 1, NaN when empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.N
+		if cum >= rank {
+			i := b.Index
+			if i < 0 {
+				i = 0
+			}
+			if i >= numBuckets {
+				i = numBuckets - 1
+			}
+			return bucketMid(i)
+		}
+	}
+	return s.Max
 }

@@ -60,8 +60,8 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Label is one key="value" pair attached to a metric series.
 type Label struct {
-	Key   string
-	Value string
+	Key   string `json:"k"`
+	Value string `json:"v"`
 }
 
 // L builds a Label.

@@ -302,7 +302,10 @@ func (d *Durable) Log() *wal.Log { return d.log }
 // checkpoint may proceed while callers wait on their acks.
 func (d *Durable) Ingest(targets []*Host, algo string, b graph.Batch, tid trace.TraceID, wait bool) error {
 	d.mu.RLock()
-	if err := d.log.Append(wal.Record{Algo: algo, Batch: b}); err != nil {
+	// The record carries the request's trace ID and a wall-clock stamp,
+	// so a replica replaying this log can join the request's timeline and
+	// report seconds-behind-primary.
+	if err := d.log.Append(wal.Record{Algo: algo, Batch: b, Trace: tid, Nanos: time.Now().UnixNano()}); err != nil {
 		d.mu.RUnlock()
 		return err
 	}

@@ -20,6 +20,7 @@ import (
 //	GET  /query/{algo}                   current snapshot view, JSON
 //	GET  /stats                          per-host serving counters, JSON
 //	GET  /metrics                        Prometheus text exposition
+//	GET  /metrics.json                   registry snapshot with raw histogram buckets
 //	GET  /debug/applies[?algo=<name>]    recent apply trace events, JSON
 //	GET  /debug/trace                    flight recording, Chrome trace_event JSON
 //	GET  /healthz                        liveness
@@ -231,6 +232,10 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, h.View())
 	})
 	mux.Handle("GET /metrics", s.reg.Handler())
+	// The JSON snapshot keeps raw histogram buckets, so a federating
+	// router can merge per-shard distributions exactly; the text
+	// exposition above flattens them into unmergeable quantiles.
+	mux.Handle("GET /metrics.json", s.reg.JSONHandler())
 	mux.Handle("GET /debug/trace", s.rec.Handler())
 	mux.HandleFunc("GET /debug/applies", func(w http.ResponseWriter, r *http.Request) {
 		hosts := s.Hosts()

@@ -474,6 +474,12 @@ func NewHost(m Serveable, opt Options) *Host {
 		"Received-but-not-yet-applied unit updates.",
 		func() float64 { return float64(h.Stats().QueueDepth) },
 		obs.L("algo", h.algo))
+	// The published view epoch as a gauge: a federating router compares
+	// this series across shards to compute the cluster's epoch skew.
+	h.opt.Registry.GaugeFunc("incgraph_view_epoch",
+		"Raw-update epoch of the currently published view.",
+		func() float64 { return float64(h.View().Epoch) },
+		obs.L("algo", h.algo))
 	h.opt.Registry.Gauge("incgraph_graph_nodes",
 		"Node count of the maintained graph at registration.",
 		obs.L("algo", h.algo)).Set(float64(h.n))

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"incgraph/internal/graph"
+	"incgraph/internal/obs"
+	"incgraph/internal/trace"
 )
 
 // Client is the router's HTTP handle on one shard daemon (or replica).
@@ -54,6 +56,20 @@ func IsShed(err error) bool {
 	return ok && se.Code == http.StatusServiceUnavailable
 }
 
+// newRequest builds a request carrying the W3C traceparent header when
+// ctx holds a trace ID, so a router's fan-out requests join the same
+// trace on every shard they touch.
+func (c *Client) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if tid, ok := trace.IDFromContext(ctx); ok {
+		req.Header.Set("traceparent", trace.FormatTraceparent(tid, trace.NewSpanID()))
+	}
+	return req, nil
+}
+
 func (c *Client) do(req *http.Request, out any) error {
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -73,7 +89,7 @@ func (c *Client) do(req *http.Request, out any) error {
 
 // Healthz probes the daemon's liveness endpoint.
 func (c *Client) Healthz(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, c.Base+"/healthz", nil)
 	if err != nil {
 		return err
 	}
@@ -83,7 +99,7 @@ func (c *Client) Healthz(ctx context.Context) error {
 // Info fetches the daemon's shard identity.
 func (c *Client) Info(ctx context.Context) (Info, error) {
 	var info Info
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/shard/info", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, c.Base+"/shard/info", nil)
 	if err != nil {
 		return info, err
 	}
@@ -114,7 +130,7 @@ func (c *Client) Update(ctx context.Context, b graph.Batch, wait bool) (UpdateOu
 	if wait {
 		url += "?wait=1"
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &buf)
+	req, err := c.newRequest(ctx, http.MethodPost, url, &buf)
 	if err != nil {
 		return out, err
 	}
@@ -150,7 +166,7 @@ type ShardView struct {
 // extracts its value vector.
 func (c *Client) View(ctx context.Context, algo string) (ShardView, error) {
 	var sv ShardView
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/query/"+algo, nil)
+	req, err := c.newRequest(ctx, http.MethodGet, c.Base+"/query/"+algo, nil)
 	if err != nil {
 		return sv, err
 	}
@@ -191,7 +207,7 @@ func (c *Client) Eval(ctx context.Context, algo string, seeds [][2]int64) (EvalR
 	if err != nil {
 		return out, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/shard/eval/"+algo, bytes.NewReader(body))
+	req, err := c.newRequest(ctx, http.MethodPost, c.Base+"/shard/eval/"+algo, bytes.NewReader(body))
 	if err != nil {
 		return out, err
 	}
@@ -200,11 +216,58 @@ func (c *Client) Eval(ctx context.Context, algo string, seeds [][2]int64) (EvalR
 	return out, err
 }
 
+// MetricsSnapshot fetches the member's /metrics.json registry dump —
+// the federation source, with raw histogram buckets intact.
+func (c *Client) MetricsSnapshot(ctx context.Context) ([]obs.FamilySnapshot, error) {
+	var fams []obs.FamilySnapshot
+	req, err := c.newRequest(ctx, http.MethodGet, c.Base+"/metrics.json", nil)
+	if err != nil {
+		return nil, err
+	}
+	err = c.do(req, &fams)
+	return fams, err
+}
+
+// TraceDump fetches the member's raw /debug/trace document for merging
+// into a cluster timeline. n limits the dump to the newest n events
+// (0 = everything the member retained).
+func (c *Client) TraceDump(ctx context.Context, n int) ([]byte, error) {
+	url := c.Base + "/debug/trace"
+	if n > 0 {
+		url += fmt.Sprintf("?n=%d", n)
+	}
+	req, err := c.newRequest(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// ReplicaStatus fetches a replica's /replica/status lag document.
+func (c *Client) ReplicaStatus(ctx context.Context) (FollowerStatus, error) {
+	var st FollowerStatus
+	req, err := c.newRequest(ctx, http.MethodGet, c.Base+"/replica/status", nil)
+	if err != nil {
+		return st, err
+	}
+	err = c.do(req, &st)
+	return st, err
+}
+
 // Promote asks a warm replica to seal its follower loop and begin
 // serving as the shard primary. The response reports the promoted
 // epoch per algo.
 func (c *Client) Promote(ctx context.Context) (map[string]uint64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/replica/promote", nil)
+	req, err := c.newRequest(ctx, http.MethodPost, c.Base+"/replica/promote", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,353 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"incgraph/internal/cc"
+	"incgraph/internal/gen"
+	"incgraph/internal/graph"
+	"incgraph/internal/obs"
+	"incgraph/internal/serve"
+	"incgraph/internal/sssp"
+	"incgraph/internal/trace"
+	"incgraph/internal/wal"
+)
+
+// startDurableShard is startShardDaemon plus a WAL: updates are logged
+// (carrying their trace ID and wall-clock stamp) and the segments are
+// served under /wal/ for a log-shipping replica, exactly the wiring
+// cmd/incgraphd does in shard mode.
+func startDurableShard(t *testing.T, g *graph.Graph, p Partitioner, id int, src graph.NodeID) *httptest.Server {
+	t.Helper()
+	frag := FilterGraph(g, p, id)
+	svc := serve.NewService()
+	if _, err := svc.Host(serve.SSSP(sssp.NewInc(frag, src), src), serve.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Host(serve.CC(cc.NewInc(frag.Clone())), serve.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := serve.OpenDurable(svc, t.TempDir(), serve.DurableOptions{
+		WAL: wal.Options{Policy: wal.SyncAlways},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	MountShardAPI(svc, p, id, g.NumNodes(), g.Directed(), nil)
+	svc.Mount("/wal/", http.StripPrefix("/wal", d.Log().StreamHandler()))
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { srv.Close(); svc.Close(); d.Close() })
+	return srv
+}
+
+// startObservedReplica runs a Follower against the primary with its own
+// registry and recorder, serving the replica-side observability surface
+// (/replica/status, /metrics.json, /debug/trace) the way the replica
+// daemon mode does.
+func startObservedReplica(t *testing.T, g *graph.Graph, p Partitioner, id int, src graph.NodeID, primaryURL string) (*Follower, *httptest.Server) {
+	t.Helper()
+	frag := FilterGraph(g, p, id)
+	reg := obs.NewRegistry()
+	rec := trace.NewRecorder(1024)
+	f := NewFollower(FollowerOptions{
+		Source: primaryURL,
+		Dir:    t.TempDir(),
+		Targets: map[string]serve.Serveable{
+			"sssp": serve.SSSP(sssp.NewInc(frag, src), src),
+			"cc":   serve.CC(cc.NewInc(frag.Clone())),
+		},
+		Interval: 10 * time.Millisecond,
+		Registry: reg,
+		Recorder: rec,
+	})
+	go f.Run()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /replica/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, f.Status())
+	})
+	mux.Handle("GET /metrics.json", reg.JSONHandler())
+	mux.Handle("GET /debug/trace", rec.Handler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() { srv.Close(); f.Stop() })
+	return f, srv
+}
+
+// get runs one GET against the router handler and returns the recorder.
+func get(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// mergedSpans fetches /debug/cluster/trace filtered to tid and indexes
+// the surviving span names by process name.
+func mergedSpans(t *testing.T, h http.Handler, tid trace.TraceID) map[string][]string {
+	t.Helper()
+	w := get(t, h, "/debug/cluster/trace?trace="+tid.String())
+	if w.Code != http.StatusOK {
+		t.Fatalf("cluster trace: %d %s", w.Code, w.Body.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("cluster trace not JSON: %v", err)
+	}
+	procs := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs[ev.PID], _ = ev.Args["name"].(string)
+		}
+	}
+	spans := map[string][]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if got, _ := ev.Args["traceparent_id"].(string); got != tid.String() {
+			t.Fatalf("filtered timeline leaked event %q with trace %q, want %s", ev.Name, got, tid)
+		}
+		spans[procs[ev.PID]] = append(spans[procs[ev.PID]], ev.Name)
+	}
+	return spans
+}
+
+func containsSpan(spans []string, name string) bool {
+	for _, s := range spans {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// metricLine finds the first sample line of family name whose label set
+// contains every want substring, returning its value.
+func metricLine(t *testing.T, body, name string, want ...string) (float64, bool) {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Exact family match: the prefix must end at '{' or ' '.
+		rest := line[len(name):]
+		if rest == "" || (rest[0] != '{' && rest[0] != ' ') {
+			continue
+		}
+		ok := true
+		for _, wnt := range want {
+			if !strings.Contains(line, wnt) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("metric line %q: bad value: %v", line, err)
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// TestClusterObservabilityE2E is the issue's acceptance scenario over a
+// real 2-shard + 1-replica topology: one POST /update carrying a
+// client-supplied traceparent must yield (a) a merged Perfetto timeline
+// at /debug/cluster/trace with router, both shards, and the replica's
+// replay under that one trace ID, and (b) a /cluster/metrics exposition
+// with per-shard apply latency, epoch skew, and follower lag-seconds —
+// all present and numeric. Run under -race this also exercises the
+// cross-process scrape fan-in against live members.
+func TestClusterObservabilityE2E(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := gen.PowerLaw(rng, 120, 4, true)
+	src := graph.NodeID(0)
+	p := NewHashPartitioner(2)
+	s0 := startDurableShard(t, g, p, 0, src)
+	s1 := startDurableShard(t, g, p, 1, src)
+	follower, repl := startObservedReplica(t, g, p, 0, src, s0.URL)
+
+	table := NewTable([]string{s0.URL, s1.URL})
+	table.SetReplica(0, repl.URL)
+	rt, err := NewRouter(RouterOptions{Part: p, Table: table, Directed: true, NumNodes: g.NumNodes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.Handler()
+
+	// One traced update spanning both shards.
+	b := gen.RandomUpdates(rng, g.Clone(), 40, 0.3)
+	tid := trace.NewTraceID()
+	var buf bytes.Buffer
+	if err := graph.WriteBatch(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/update?wait=1", &buf)
+	req.Header.Set("traceparent", trace.FormatTraceparent(tid, trace.NewSpanID()))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var res RouterUpdateResult
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatalf("update response %d not JSON: %s", w.Code, w.Body.String())
+	}
+	if w.Code != http.StatusOK || !res.Applied || res.Routed != 2 {
+		t.Fatalf("traced update: code=%d applied=%v routed=%d (%s)", w.Code, res.Applied, res.Routed, w.Body.String())
+	}
+	if got := w.Header().Get("traceparent"); !strings.Contains(got, tid.String()) {
+		t.Fatalf("response traceparent %q does not carry request trace %s", got, tid)
+	}
+
+	// Wait until the replica has replayed shard 0's slice of the batch.
+	var want uint64
+	for _, ps := range res.PerShard {
+		if ps.Shard == 0 {
+			want = uint64(ps.Updates)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for follower.Epochs()["sssp"] < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at %v, want %d", follower.Epochs(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// (a) Merged timeline: all four processes under the one trace ID.
+	var spans map[string][]string
+	for {
+		spans = mergedSpans(t, h, tid)
+		if containsSpan(spans["router"], "update") &&
+			containsSpan(spans["shard-0"], "apply") &&
+			containsSpan(spans["shard-1"], "apply") &&
+			containsSpan(spans["replica-0"], "replay") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merged timeline incomplete: %v", spans)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, name := range []string{"split", "fanout"} {
+		if !containsSpan(spans["router"], name) {
+			t.Errorf("router timeline missing %q span: %v", name, spans["router"])
+		}
+	}
+
+	// (b) Federated metrics: per-shard apply latency, epoch skew,
+	// follower lag — present and numeric.
+	mw := get(t, h, "/cluster/metrics")
+	if mw.Code != http.StatusOK {
+		t.Fatalf("cluster metrics: %d", mw.Code)
+	}
+	body := mw.Body.String()
+	for shard := 0; shard < 2; shard++ {
+		sl := `shard="` + strconv.Itoa(shard) + `"`
+		if _, ok := metricLine(t, body, "incgraph_apply_latency_seconds_count", sl, `role="primary"`); !ok {
+			t.Errorf("no per-shard apply latency for shard %d:\n%s", shard, body)
+		}
+	}
+	checks := []struct {
+		name string
+		want []string
+	}{
+		{"incgraph_replica_lag_seconds", []string{`role="replica"`, `shard="0"`}},
+		{"incrouter_cluster_epoch_skew", nil},
+		{"incrouter_cluster_replica_lag_seconds", nil},
+		{"incrouter_cluster_shed_total", nil},
+		{"incrouter_cluster_apply_latency_seconds_count", nil},
+	}
+	for _, c := range checks {
+		v, ok := metricLine(t, body, c.name, c.want...)
+		if !ok {
+			t.Errorf("missing %s series (labels %v)", c.name, c.want)
+			continue
+		}
+		if math.IsNaN(v) {
+			t.Errorf("%s is NaN", c.name)
+		}
+	}
+	if v, _ := metricLine(t, body, "incrouter_cluster_apply_latency_seconds_count"); v == 0 {
+		t.Errorf("cluster apply-latency rollup counted no samples")
+	}
+	if v, _ := metricLine(t, body, "incrouter_cluster_members", `state="reachable"`); v != 3 {
+		t.Errorf("reachable members = %v, want 3", v)
+	}
+
+	// Topology health: every member row present, floor covered.
+	hw := get(t, h, "/cluster/health")
+	var health struct {
+		Members    []memberHealth `json:"members"`
+		Consistent bool           `json:"consistent"`
+	}
+	if err := json.Unmarshal(hw.Body.Bytes(), &health); err != nil {
+		t.Fatalf("cluster health not JSON: %v", err)
+	}
+	if len(health.Members) != 3 || !health.Consistent {
+		t.Fatalf("cluster health: members=%d consistent=%v (%s)", len(health.Members), health.Consistent, hw.Body.String())
+	}
+	for _, m := range health.Members {
+		if !m.Reachable {
+			t.Errorf("member %s unreachable in health report", m.Name)
+		}
+	}
+}
+
+// TestClusterTraceBadFilter: an unparseable ?trace= is a client error,
+// not a silent unfiltered dump.
+func TestClusterTraceBadFilter(t *testing.T) {
+	rt, _ := startCluster(t, gen.PowerLaw(rand.New(rand.NewSource(7)), 40, 3, true), 1, 0)
+	w := get(t, rt.Handler(), "/debug/cluster/trace?trace=nope")
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad filter: got %d, want 400", w.Code)
+	}
+}
+
+// TestClusterEventsEndpoint: the router serves the supervisor's shared
+// topology ring, newest last, with ?n= keeping only the tail.
+func TestClusterEventsEndpoint(t *testing.T) {
+	events := obs.NewRing[TopologyEvent](8)
+	g := gen.PowerLaw(rand.New(rand.NewSource(9)), 40, 3, true)
+	p := NewHashPartitioner(1)
+	srv := startShardDaemon(t, g, p, 0, 0)
+	rt, err := NewRouter(RouterOptions{
+		Part: p, Table: NewTable([]string{srv.URL}),
+		Directed: true, NumNodes: g.NumNodes(), Events: events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events.Push(TopologyEvent{UnixNanos: 1, Kind: "spawn", Member: "a", Shard: 0})
+	events.Push(TopologyEvent{UnixNanos: 2, Kind: "probe-fail", Member: "a", Shard: 0})
+	events.Push(TopologyEvent{UnixNanos: 3, Kind: "promote", Member: "b", Shard: 0, Detail: "gen 1"})
+
+	w := get(t, rt.Handler(), "/cluster/events?n=2")
+	var out struct {
+		Events []TopologyEvent `json:"events"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("events not JSON: %v", err)
+	}
+	if len(out.Events) != 2 || out.Events[0].Kind != "probe-fail" || out.Events[1].Kind != "promote" {
+		t.Fatalf("events tail = %+v, want newest two", out.Events)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"incgraph/internal/graph"
 	"incgraph/internal/obs"
+	"incgraph/internal/trace"
 )
 
 // Router is the cluster front-end: one process that owns no graph state
@@ -39,6 +40,14 @@ type Router struct {
 	exchangeRnds  *obs.Counter
 	queriesServed *obs.Counter
 	reg           *obs.Registry
+
+	// rec is the router's own flight recorder ("router" process in the
+	// merged cluster timeline); track is its request track.
+	rec   *trace.Recorder
+	track int32
+	// events is the topology event ring served at /cluster/events,
+	// usually shared with the Supervisor that writes it.
+	events *obs.Ring[TopologyEvent]
 }
 
 // RouterOptions configure a Router.
@@ -58,6 +67,13 @@ type RouterOptions struct {
 	Client *http.Client
 	// Registry receives router metrics; nil means a private registry.
 	Registry *obs.Registry
+	// Recorder receives router spans; nil means a private recorder. Its
+	// process name is set to "router" when unset.
+	Recorder *trace.Recorder
+	// Events is the topology event ring surfaced at /cluster/events;
+	// share it with the Supervisor so its actions are visible. Nil means
+	// a private (empty unless the router writes) ring.
+	Events *obs.Ring[TopologyEvent]
 }
 
 // NewRouter validates the options and builds a router.
@@ -87,6 +103,18 @@ func NewRouter(opt RouterOptions) (*Router, error) {
 		client:   opt.Client,
 		floor:    make(EpochVector, opt.Part.Shards()),
 		reg:      reg,
+	}
+	rt.rec = opt.Recorder
+	if rt.rec == nil {
+		rt.rec = trace.NewRecorder(4096)
+	}
+	if rt.rec.Process() == "" {
+		rt.rec.SetProcess("router")
+	}
+	rt.track = rt.rec.Track("router")
+	rt.events = opt.Events
+	if rt.events == nil {
+		rt.events = obs.NewRing[TopologyEvent](256)
 	}
 	rt.updatesRouted = reg.Counter("incrouter_updates_routed_total", "Unit updates fanned out to shards.")
 	rt.updatesShed = reg.Counter("incrouter_updates_shed_total", "Update requests refused with 503.")
@@ -188,12 +216,18 @@ type routedBatch struct {
 
 // Handler returns the router's HTTP API:
 //
-//	POST /update[?wait=1]   split, fan out, epoch-vector-stamped ack
-//	GET  /query/{algo}      cross-shard answer by boundary exchange
-//	GET  /epochs            current floor and live per-shard epochs
-//	GET  /shards            routing table snapshot
-//	GET  /healthz           router liveness
-//	GET  /metrics           router metrics (Prometheus text format)
+//	POST /update[?wait=1]        split, fan out, epoch-vector-stamped ack
+//	GET  /query/{algo}           cross-shard answer by boundary exchange
+//	GET  /epochs                 current floor and live per-shard epochs
+//	GET  /shards                 routing table snapshot
+//	GET  /healthz                router liveness
+//	GET  /metrics                router metrics (Prometheus text format)
+//	GET  /metrics.json           router registry snapshot (federation source)
+//	GET  /debug/trace            router-only trace_event dump
+//	GET  /debug/cluster/trace    merged cluster timeline (?trace= filters)
+//	GET  /cluster/metrics        federated member metrics + cluster rollups
+//	GET  /cluster/health         topology liveness/generation/epoch summary
+//	GET  /cluster/events         recent supervisor topology events (?n= caps)
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -204,6 +238,12 @@ func (rt *Router) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"shards": rt.table.Snapshot()})
 	})
 	mux.Handle("GET /metrics", rt.reg.Handler())
+	mux.Handle("GET /metrics.json", rt.reg.JSONHandler())
+	mux.Handle("GET /debug/trace", rt.rec.Handler())
+	mux.HandleFunc("GET /debug/cluster/trace", rt.handleClusterTrace)
+	mux.HandleFunc("GET /cluster/metrics", rt.handleClusterMetrics)
+	mux.HandleFunc("GET /cluster/health", rt.handleClusterHealth)
+	mux.HandleFunc("GET /cluster/events", rt.handleClusterEvents)
 	mux.HandleFunc("GET /epochs", rt.handleEpochs)
 	mux.HandleFunc("POST /update", rt.handleUpdate)
 	mux.HandleFunc("GET /query/{algo}", rt.handleQuery)
@@ -228,7 +268,23 @@ func (rt *Router) handleEpochs(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// requestTrace resolves the request's W3C trace ID (client-supplied
+// traceparent or freshly minted), stamps it on the response, and returns
+// a context carrying it so shard.Client fan-out requests propagate it.
+func (rt *Router) requestTrace(w http.ResponseWriter, r *http.Request) (context.Context, trace.TraceID) {
+	tid, ok := trace.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		tid = trace.NewTraceID()
+	}
+	w.Header().Set("traceparent", trace.FormatTraceparent(tid, trace.NewSpanID()))
+	return trace.ContextWithID(r.Context(), tid), tid
+}
+
 func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	ctx, tid := rt.requestTrace(w, r)
+	root := rt.rec.Begin("update", "router", rt.track)
+	root.SetTrace(tid)
+	defer root.End()
 	b, err := graph.ReadBatch(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -238,6 +294,8 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	split := rt.rec.Begin("split", "router", rt.track)
+	split.SetTrace(tid)
 	parts := SplitBatch(rt.part, rt.directed, b)
 	var routed []routedBatch
 	for i, sb := range parts {
@@ -245,6 +303,11 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			routed = append(routed, routedBatch{shard: i, b: sb})
 		}
 	}
+	split.Arg("updates", int64(len(b)))
+	split.Arg("shards", int64(len(routed)))
+	split.End()
+	root.Arg("updates", int64(len(b)))
+	root.Arg("shards", int64(len(routed)))
 	// Health gate before any shard sees a byte: refusing the whole
 	// batch up front beats discovering a dead owner after siblings have
 	// already logged their slices.
@@ -263,6 +326,8 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		Routed:   len(routed),
 		PerShard: make([]PerShard, len(routed)),
 	}
+	fan := rt.rec.Begin("fanout", "router", rt.track)
+	fan.SetTrace(tid)
 	var wg sync.WaitGroup
 	for idx, rb := range routed {
 		wg.Add(1)
@@ -270,7 +335,7 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			ps := PerShard{Shard: rb.shard, Updates: len(rb.b)}
 			addr, _ := rt.table.Active(rb.shard)
-			out, err := rt.clientFor(addr).Update(r.Context(), rb.b, wait)
+			out, err := rt.clientFor(addr).Update(ctx, rb.b, wait)
 			switch {
 			case err == nil:
 				ps.Status, ps.Epochs = "accepted", out.Epochs
@@ -286,10 +351,13 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}(idx, rb)
 	}
 	wg.Wait()
+	fan.End()
 
 	// Assemble the post-request epoch vector: shards that carried a
 	// sub-batch report their new epochs; untouched shards keep the
 	// floor's entry (their stream did not advance).
+	assemble := rt.rec.Begin("epoch_assemble", "router", rt.track)
+	assemble.SetTrace(tid)
 	vector := rt.Floor()
 	allOK, anyOK, anyShed := true, false, false
 	for _, ps := range res.PerShard {
@@ -307,6 +375,7 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	res.Epochs = vector
 	res.EpochToken = vector.String()
+	assemble.End()
 	// A split batch is applied only if *every* owning shard logged its
 	// slice; partial success is reported per shard, never acked whole.
 	res.Applied = allOK && wait && len(routed) > 0
@@ -339,6 +408,11 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown algo %q", algo))
 		return
 	}
+	ctx, tid := rt.requestTrace(w, r)
+	span := rt.rec.Begin("query", "router", rt.track)
+	span.SetTrace(tid)
+	span.Arg("shards", int64(rt.part.Shards()))
+	defer span.End()
 	var minEV EpochVector
 	if tok := r.Header.Get(MinEpochHeader); tok != "" {
 		ev, err := ParseEpochVector(tok)
@@ -348,7 +422,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		minEV = ev
 	}
-	views, vector, degraded, src, err := rt.gatherViews(r.Context(), algo)
+	views, vector, degraded, src, err := rt.gatherViews(ctx, algo)
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -371,7 +445,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "sssp":
 		dist, rounds, err := SSSPExchange(rt.n, views, func(i int, seeds []int64) ([]int64, error) {
 			addr, _ := rt.table.Active(i)
-			resp, err := rt.clientFor(addr).Eval(r.Context(), "sssp", sparseSeeds(seeds))
+			resp, err := rt.clientFor(addr).Eval(ctx, "sssp", sparseSeeds(seeds))
 			if err != nil {
 				return nil, fmt.Errorf("shard %d eval: %w", i, err)
 			}

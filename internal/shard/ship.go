@@ -11,7 +11,9 @@ import (
 	"sync"
 	"time"
 
+	"incgraph/internal/obs"
 	"incgraph/internal/serve"
+	"incgraph/internal/trace"
 	"incgraph/internal/wal"
 )
 
@@ -26,36 +28,68 @@ import (
 // primary but not yet shipped are lost on promotion, and the epoch
 // vector is what makes that loss visible instead of silent.
 
+// ShipProgress describes one PullWAL cycle: what was fetched and how far
+// the local mirror still trails the primary's listing. The lag fields
+// are measured after the pull, so a fully caught-up replica reports
+// zero for both.
+type ShipProgress struct {
+	// Shipped counts segment bytes fetched by this cycle.
+	Shipped int64
+	// RemoteBytes is the total segment size the primary listed.
+	RemoteBytes int64
+	// LagBytes is how many listed bytes are still missing locally.
+	LagBytes int64
+	// LagSegments counts listed segments not yet fully mirrored.
+	LagSegments int
+}
+
 // PullWAL mirrors the primary's WAL directory into dir: the newest
 // checkpoint (if any, fetched once) and every listed segment's missing
 // byte range. src is the primary's base URL; the stream endpoints are
 // expected under src+"/wal". It returns the number of segment bytes
 // fetched. Safe to call repeatedly; each call ships only what is new.
 func PullWAL(ctx context.Context, hc *http.Client, src, dir string) (int64, error) {
+	p, err := PullWALStatus(ctx, hc, src, dir)
+	return p.Shipped, err
+}
+
+// PullWALStatus is PullWAL reporting full ship progress — the
+// replication-lag measurement a follower turns into gauges.
+func PullWALStatus(ctx context.Context, hc *http.Client, src, dir string) (ShipProgress, error) {
+	var p ShipProgress
 	if hc == nil {
 		hc = defaultShardClient
 	}
 	var lst wal.StreamListing
 	if err := getJSON(ctx, hc, src+"/wal/segments", &lst); err != nil {
-		return 0, fmt.Errorf("shard: list segments: %w", err)
+		return p, fmt.Errorf("shard: list segments: %w", err)
 	}
 	if lst.CheckpointSeq > 0 {
 		name := wal.CheckpointName(lst.CheckpointSeq)
 		if _, err := os.Stat(filepath.Join(dir, name)); os.IsNotExist(err) {
 			if err := fetchToFile(ctx, hc, src+"/wal/checkpoint", filepath.Join(dir, name)); err != nil {
-				return 0, fmt.Errorf("shard: fetch checkpoint: %w", err)
+				return p, fmt.Errorf("shard: fetch checkpoint: %w", err)
 			}
 		}
 	}
-	var shipped int64
+	var pullErr error
 	for _, seg := range lst.Segments {
-		n, err := pullSegment(ctx, hc, src, dir, seg)
-		shipped += n
-		if err != nil {
-			return shipped, err
+		p.RemoteBytes += seg.Size
+		if pullErr == nil {
+			n, err := pullSegment(ctx, hc, src, dir, seg)
+			p.Shipped += n
+			pullErr = err
+		}
+		var local int64
+		if fi, err := os.Stat(filepath.Join(dir, wal.SegmentName(seg.Seq))); err == nil {
+			local = fi.Size()
+		}
+		if local < seg.Size {
+			p.LagBytes += seg.Size - local
+			p.LagSegments++
 		}
 	}
-	return shipped, nil
+	return p, pullErr
 }
 
 // pullSegment ships the missing suffix of one segment, chunk by chunk,
@@ -180,6 +214,15 @@ type FollowerOptions struct {
 	Client *http.Client
 	// Logf receives follower progress lines; nil discards them.
 	Logf func(format string, args ...any)
+	// Registry, when set, receives the replication-lag gauges
+	// (incgraph_replica_lag_{segments,bytes,seconds} and the shipped-byte
+	// counter) so a replica's /metrics scrape carries real lag numbers.
+	Registry *obs.Registry
+	// Recorder, when set, receives one replay span per applied WAL
+	// record, tagged with the trace ID the record was logged under — the
+	// piece that makes a replica's replay appear in the cluster-merged
+	// timeline of the original request.
+	Recorder *trace.Recorder
 }
 
 // Follower runs continuous log shipping for one replica: pull new WAL
@@ -188,15 +231,20 @@ type FollowerOptions struct {
 // the maintainers see a single writer — the same contract the serving
 // apply loop provides.
 type Follower struct {
-	opt  FollowerOptions
-	tail *wal.Tail
+	opt   FollowerOptions
+	tail  *wal.Tail
+	track int32 // replication track on opt.Recorder, 0 when untraced
 
-	mu      sync.Mutex
-	epochs  map[string]uint64
-	batches map[string]uint64
-	shipped int64
-	records uint64
-	lastErr error
+	mu         sync.Mutex
+	epochs     map[string]uint64
+	batches    map[string]uint64
+	shipped    int64
+	records    uint64
+	lastErr    error
+	lagSegs    int
+	lagBytes   int64
+	lastRecNs  int64 // Nanos of the newest replayed record (0 = none seen)
+	behindSecs float64
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -226,6 +274,26 @@ func NewFollower(opt FollowerOptions) *Follower {
 	}
 	for a, b := range opt.BaseBatches {
 		f.batches[a] = b
+	}
+	if opt.Recorder != nil {
+		f.track = opt.Recorder.Track("replication")
+	}
+	if reg := opt.Registry; reg != nil {
+		reg.GaugeFunc("incgraph_replica_lag_segments",
+			"WAL segments listed by the primary but not fully mirrored.",
+			func() float64 { return float64(f.Status().LagSegments) })
+		reg.GaugeFunc("incgraph_replica_lag_bytes",
+			"WAL bytes listed by the primary but not yet shipped.",
+			func() float64 { return float64(f.Status().LagBytes) })
+		reg.GaugeFunc("incgraph_replica_lag_seconds",
+			"Seconds behind the primary: age of the newest replayed record while lagging, 0 when caught up.",
+			func() float64 { return f.Status().LagSeconds })
+		reg.GaugeFunc("incgraph_replica_shipped_bytes",
+			"Segment bytes fetched from the primary since the follower started.",
+			func() float64 { return float64(f.Status().ShippedBytes) })
+		reg.GaugeFunc("incgraph_replica_records",
+			"WAL records replayed into the replica's maintainers.",
+			func() float64 { return float64(f.Status().Records) })
 	}
 	return f
 }
@@ -257,9 +325,11 @@ func (f *Follower) Run() {
 func (f *Follower) cycle() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	n, err := PullWAL(ctx, f.opt.Client, f.opt.Source, f.opt.Dir)
+	p, err := PullWALStatus(ctx, f.opt.Client, f.opt.Source, f.opt.Dir)
 	f.mu.Lock()
-	f.shipped += n
+	f.shipped += p.Shipped
+	f.lagSegs = p.LagSegments
+	f.lagBytes = p.LagBytes
 	f.lastErr = err
 	f.mu.Unlock()
 	if err != nil {
@@ -272,6 +342,15 @@ func (f *Follower) cycle() {
 // to its targets with the same coalescing the serving path uses.
 func (f *Follower) replayLocal() {
 	emitted, err := f.tail.Advance(func(rec wal.Record) error {
+		var span trace.Span
+		if f.opt.Recorder != nil {
+			span = f.opt.Recorder.Begin("replay", "ship", f.track)
+			span.SetTrace(trace.TraceID(rec.Trace))
+			span.Arg("updates", int64(len(rec.Batch)))
+			if rec.Nanos > 0 {
+				span.Arg("record_age_ns", time.Now().UnixNano()-rec.Nanos)
+			}
+		}
 		apply := func(name string, m serve.Serveable) {
 			m.Apply(rec.Batch.Net(m.Graph().Directed()))
 			f.mu.Lock()
@@ -283,10 +362,16 @@ func (f *Follower) replayLocal() {
 			for name, m := range f.opt.Targets {
 				apply(name, m)
 			}
-			return nil
-		}
-		if m, ok := f.opt.Targets[rec.Algo]; ok {
+		} else if m, ok := f.opt.Targets[rec.Algo]; ok {
 			apply(rec.Algo, m)
+		}
+		if rec.Nanos > 0 {
+			f.mu.Lock()
+			f.lastRecNs = rec.Nanos
+			f.mu.Unlock()
+		}
+		if f.opt.Recorder != nil {
+			span.End()
 		}
 		return nil
 	})
@@ -294,6 +379,18 @@ func (f *Follower) replayLocal() {
 	f.records += uint64(emitted)
 	if err != nil {
 		f.lastErr = err
+	}
+	// Seconds-behind: while bytes are still missing, the replica is at
+	// best as fresh as the newest record it replayed; once the mirror is
+	// byte-complete and drained, it is caught up (0), regardless of how
+	// old the last record is on an idle primary.
+	if f.lagBytes > 0 && f.lastRecNs > 0 {
+		f.behindSecs = time.Duration(time.Now().UnixNano() - f.lastRecNs).Seconds()
+		if f.behindSecs < 0 {
+			f.behindSecs = 0
+		}
+	} else {
+		f.behindSecs = 0
 	}
 	f.mu.Unlock()
 	if err != nil {
@@ -344,6 +441,9 @@ func (f *Follower) Status() FollowerStatus {
 		Source:       f.opt.Source,
 		ShippedBytes: f.shipped,
 		Records:      f.records,
+		LagSegments:  f.lagSegs,
+		LagBytes:     f.lagBytes,
+		LagSeconds:   f.behindSecs,
 		Epochs:       make(map[string]uint64, len(f.epochs)),
 	}
 	if f.lastErr != nil {
@@ -363,6 +463,15 @@ type FollowerStatus struct {
 	ShippedBytes int64 `json:"shipped_bytes"`
 	// Records counts WAL records replayed (lifetime of the tail).
 	Records uint64 `json:"records"`
+	// LagSegments counts primary segments not yet fully mirrored, as of
+	// the last pull cycle.
+	LagSegments int `json:"lag_segments"`
+	// LagBytes counts primary WAL bytes not yet shipped.
+	LagBytes int64 `json:"lag_bytes"`
+	// LagSeconds is the seconds-behind-primary estimate: the age of the
+	// newest replayed record while bytes are still missing, 0 once the
+	// mirror is byte-complete and drained.
+	LagSeconds float64 `json:"lag_seconds"`
 	// Epochs are the per-algo stream positions applied so far.
 	Epochs map[string]uint64 `json:"epochs"`
 	// LastError is the most recent pull/replay error, "" when healthy.

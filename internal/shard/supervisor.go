@@ -9,6 +9,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"incgraph/internal/obs"
 )
 
 // Supervisor owns the shard topology as processes: it spawns each shard
@@ -62,6 +64,25 @@ type SupervisorOptions struct {
 	Client *http.Client
 	// Logf receives supervisor events; nil discards them.
 	Logf func(format string, args ...any)
+	// Events, when set, receives every topology action (spawn, exit,
+	// restart, probe-fail, promote) for GET /cluster/events; the bounded
+	// ring caps memory no matter how unstable the topology gets.
+	Events *obs.Ring[TopologyEvent]
+}
+
+// TopologyEvent is one supervisor action on the shard topology.
+type TopologyEvent struct {
+	// UnixNanos is the event's wall-clock time.
+	UnixNanos int64 `json:"unix_nanos"`
+	// Kind is "spawn", "exit", "restart", "probe-fail", "promote", or
+	// "promote-fail".
+	Kind string `json:"kind"`
+	// Member names the child involved ("shard0", "shard0-replica").
+	Member string `json:"member"`
+	// Shard is the slot the member belongs to.
+	Shard int `json:"shard"`
+	// Detail is a human-readable cause or outcome.
+	Detail string `json:"detail"`
 }
 
 func (o SupervisorOptions) withDefaults() SupervisorOptions {
@@ -136,6 +157,16 @@ func NewSupervisor(opt SupervisorOptions) (*Supervisor, error) {
 
 func (s *Supervisor) client() *Client { return &Client{HTTP: s.opt.Client} }
 
+// record pushes a topology event when an event ring is configured.
+func (s *Supervisor) record(kind, member string, shard int, detail string) {
+	if s.opt.Events != nil {
+		s.opt.Events.Push(TopologyEvent{
+			UnixNanos: time.Now().UnixNano(),
+			Kind:      kind, Member: member, Shard: shard, Detail: detail,
+		})
+	}
+}
+
 // Start spawns every child and begins monitoring and probing. Use
 // WaitReady to block until the topology answers health checks.
 func (s *Supervisor) Start() error {
@@ -171,6 +202,7 @@ func (s *Supervisor) spawn(p *managedProc) error {
 	p.cmd = cmd
 	p.mu.Unlock()
 	s.opt.Logf("supervisor: started %s (pid %d) at %s", p.spec.Name, cmd.Process.Pid, p.spec.Addr)
+	s.record("spawn", p.spec.Name, p.spec.Shard, fmt.Sprintf("pid %d at %s", cmd.Process.Pid, p.spec.Addr))
 	return nil
 }
 
@@ -191,6 +223,7 @@ func (s *Supervisor) monitor(p *managedProc) {
 			return
 		}
 		s.opt.Logf("supervisor: %s exited: %v", p.spec.Name, err)
+		s.record("exit", p.spec.Name, p.spec.Shard, fmt.Sprintf("%v", err))
 		if !p.spec.Replica && s.failover(p.spec.Shard, "process exit") {
 			p.mu.Lock()
 			p.retired = true
@@ -210,6 +243,7 @@ func (s *Supervisor) monitor(p *managedProc) {
 		if backoff < 16*s.opt.RestartBackoff {
 			backoff *= 2
 		}
+		s.record("restart", p.spec.Name, p.spec.Shard, fmt.Sprintf("after %s backoff", backoff))
 		if err := s.spawn(p); err != nil {
 			s.opt.Logf("supervisor: restart %s: %v", p.spec.Name, err)
 			return
@@ -243,6 +277,7 @@ func (s *Supervisor) failover(shard int, cause string) bool {
 	epochs, err := c.Promote(ctx)
 	if err != nil {
 		s.opt.Logf("supervisor: promote replica %s for shard %d: %v", replica, shard, err)
+		s.record("promote-fail", replica, shard, err.Error())
 		s.mu.Lock()
 		s.promoted[shard] = false
 		s.mu.Unlock()
@@ -254,6 +289,7 @@ func (s *Supervisor) failover(shard int, cause string) bool {
 		return false
 	}
 	s.opt.Logf("supervisor: shard %d failed over to %s (%s; epochs %v)", shard, replica, cause, epochs)
+	s.record("promote", replica, shard, fmt.Sprintf("%s; epochs %v", cause, epochs))
 	return true
 }
 
@@ -292,6 +328,7 @@ func (s *Supervisor) probeLoop() {
 				continue
 			}
 			s.opt.Table.SetHealth(i, false)
+			s.record("probe-fail", addr, i, fmt.Sprintf("%d consecutive failures: %v", fails[i], err))
 			if !s.slotPromoted(i) && s.failover(i, fmt.Sprintf("%d failed probes", fails[i])) {
 				fails[i] = 0
 			}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"incgraph/internal/obs"
 )
 
 func TestNewSupervisorValidation(t *testing.T) {
@@ -78,10 +80,12 @@ func TestSupervisorProbeFailover(t *testing.T) {
 
 	table := NewTable([]string{dead.URL, healthy.URL})
 	table.SetReplica(0, replica.URL)
+	events := obs.NewRing[TopologyEvent](32)
 	sup, err := NewSupervisor(SupervisorOptions{
 		Table:         table,
 		ProbeInterval: 10 * time.Millisecond,
 		ProbeFailures: 2,
+		Events:        events,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -109,5 +113,17 @@ func TestSupervisorProbeFailover(t *testing.T) {
 	snap := table.Snapshot()
 	if snap[0].Generation != 1 {
 		t.Fatalf("slot 0 generation = %d, want 1", snap[0].Generation)
+	}
+	// The failover left an audit trail: the threshold probe failure on
+	// the dead member, then the promotion, all timestamped.
+	kinds := map[string]int{}
+	for _, ev := range events.Snapshot() {
+		kinds[ev.Kind]++
+		if ev.UnixNanos == 0 {
+			t.Fatalf("event %+v has no timestamp", ev)
+		}
+	}
+	if kinds["probe-fail"] < 1 || kinds["promote"] != 1 {
+		t.Fatalf("topology events = %v, want >=1 probe-fail and exactly 1 promote", kinds)
 	}
 }

@@ -41,6 +41,20 @@ func ParseTraceparent(h string) (TraceID, bool) {
 	return t, true
 }
 
+// ParseTraceID parses a bare 32-hex-digit trace ID (the middle field of
+// a traceparent header), rejecting the all-zero ID.
+func ParseTraceID(s string) (TraceID, bool) {
+	s = strings.TrimSpace(s)
+	if len(s) != 32 || !isHex(s) {
+		return TraceID{}, false
+	}
+	var t TraceID
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return t, !t.IsZero()
+}
+
 // FormatTraceparent renders a version-00 traceparent header value with
 // the sampled flag set.
 func FormatTraceparent(t TraceID, parent SpanID) string {

@@ -28,9 +28,19 @@ type jsonEvent struct {
 }
 
 type jsonTrace struct {
-	TraceEvents     []jsonEvent `json:"traceEvents"`
-	DisplayTimeUnit string      `json:"displayTimeUnit"`
+	TraceEvents     []jsonEvent       `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
 }
+
+// otherData keys carried in every dump. The epoch is the recorder's
+// wall-clock start in nanoseconds, rendered as a string because unix
+// nanos exceed float64's 2^53 integer range; MergeTraceEvents uses it to
+// rebase per-process timestamps onto one shared timeline.
+const (
+	epochKey   = "epoch_unix_ns"
+	processKey = "process"
+)
 
 // exportPID is the synthetic process id every event renders under.
 const exportPID = 1
@@ -51,16 +61,27 @@ func (r *Recorder) WriteTraceEvents(w io.Writer) error {
 func (r *Recorder) WriteTraceEventsN(w io.Writer, n int) error {
 	r.mu.Lock()
 	tracks := append([]string(nil), r.tracks...)
+	process := r.process
 	r.mu.Unlock()
+	if process == "" {
+		process = "incgraph"
+	}
 	events := r.Events()
 	if n > 0 && len(events) > n {
 		events = events[len(events)-n:]
 	}
 
-	out := jsonTrace{DisplayTimeUnit: "ms", TraceEvents: make([]jsonEvent, 0, len(events)+len(tracks)+1)}
+	out := jsonTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     make([]jsonEvent, 0, len(events)+len(tracks)+1),
+		OtherData: map[string]string{
+			epochKey:   strconv.FormatInt(r.start.UnixNano(), 10),
+			processKey: process,
+		},
+	}
 	out.TraceEvents = append(out.TraceEvents, jsonEvent{
 		Name: "process_name", Ph: "M", PID: exportPID,
-		Args: map[string]any{"name": "incgraph"},
+		Args: map[string]any{"name": process},
 	})
 	for i, name := range tracks {
 		out.TraceEvents = append(out.TraceEvents, jsonEvent{

@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// clusterDumps builds the fixed 2-shard fan-out (plus a replica replay)
+// behind the merged golden file: four recorders with hand-set epochs and
+// timestamps, dumped independently and merged the way the router's
+// /debug/cluster/trace endpoint does it.
+func clusterDumps(t *testing.T) ([]ProcessDump, TraceID) {
+	t.Helper()
+	tid, _ := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+
+	dump := func(rec *Recorder) []byte {
+		var b bytes.Buffer
+		if err := rec.WriteTraceEvents(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+
+	// Router: epoch is the merge base; one update span wrapping the
+	// fan-out and the epoch-vector assembly.
+	router := NewRecorderAt(goldenEpoch, 16)
+	router.SetProcess("router")
+	rt := router.Track("router")
+	router.Emit(Event{Name: "split", Cat: "router", Phase: PhaseComplete, Track: rt, TS: 1000, Dur: 200, Trace: tid})
+	router.Emit(Event{Name: "fanout", Cat: "router", Phase: PhaseComplete, Track: rt, TS: 1300, Dur: 5000, Trace: tid})
+	router.Emit(Event{Name: "update", Cat: "router", Phase: PhaseComplete, Track: rt, TS: 900, Dur: 5600, Trace: tid})
+
+	// Shards: epochs 2µs and 3µs after the router's, local timestamps
+	// near zero — the rebase must interleave them inside the fan-out.
+	shard0 := NewRecorderAt(goldenEpoch.Add(2*time.Microsecond), 16)
+	s0 := shard0.Track("sssp")
+	shard0.Emit(Event{Name: "apply", Cat: "serve", Phase: PhaseComplete, Track: s0, TS: 400, Dur: 2000, Trace: tid})
+	shard0.Emit(Event{Name: "batch", Cat: "serve", Phase: PhaseComplete, Track: s0, TS: 100, Dur: 2500, Trace: tid})
+	// An unrelated request on shard 0: must be filtered out of the
+	// single-trace waterfall.
+	shard0.Emit(Event{Name: "batch", Cat: "serve", Phase: PhaseComplete, Track: s0, TS: 3000, Dur: 100, Trace: NewTraceID()})
+
+	shard1 := NewRecorderAt(goldenEpoch.Add(3*time.Microsecond), 16)
+	s1 := shard1.Track("sssp")
+	shard1.Emit(Event{Name: "apply", Cat: "serve", Phase: PhaseComplete, Track: s1, TS: 500, Dur: 1500, Trace: tid})
+	shard1.Emit(Event{Name: "batch", Cat: "serve", Phase: PhaseComplete, Track: s1, TS: 200, Dur: 2000, Trace: tid})
+
+	// Replica: replays shard 0's WAL record later, tagged with the same
+	// trace ID the record carried.
+	replica := NewRecorderAt(goldenEpoch.Add(8*time.Microsecond), 16)
+	r0 := replica.Track("replication")
+	replica.Emit(Event{Name: "replay", Cat: "ship", Phase: PhaseComplete, Track: r0, TS: 300, Dur: 900, Trace: tid})
+
+	return []ProcessDump{
+		{Process: "router", Data: dump(router)},
+		{Process: "shard-0", Data: dump(shard0)},
+		{Process: "shard-1", Data: dump(shard1)},
+		{Process: "replica-0", Data: dump(replica)},
+	}, tid
+}
+
+func TestMergeTraceEventsGolden(t *testing.T) {
+	dumps, tid := clusterDumps(t)
+	var buf bytes.Buffer
+	if err := MergeTraceEvents(&buf, dumps, tid); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("merged output is not valid JSON")
+	}
+	const path = "testdata/golden_cluster.json"
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("merged trace differs from %s (re-run with -update to rewrite):\n%s", path, got)
+	}
+}
+
+func TestMergeTraceEventsShape(t *testing.T) {
+	dumps, tid := clusterDumps(t)
+	var buf bytes.Buffer
+	if err := MergeTraceEvents(&buf, dumps, tid); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int32          `json:"tid"`
+			TS   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stable pids in scrape order, named by topology slot.
+	procs := map[int]string{}
+	pidEvents := map[int]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "process_name" {
+			procs[ev.PID] = ev.Args["name"].(string)
+			continue
+		}
+		if ev.Ph == "M" {
+			continue
+		}
+		pidEvents[ev.PID]++
+		if got := ev.Args["traceparent_id"]; got != tid.String() {
+			t.Errorf("event %s/pid%d leaked through the trace filter: %v", ev.Name, ev.PID, got)
+		}
+	}
+	want := map[int]string{1: "router", 2: "shard-0", 3: "shard-1", 4: "replica-0"}
+	for pid, name := range want {
+		if procs[pid] != name {
+			t.Errorf("pid %d named %q, want %q", pid, procs[pid], name)
+		}
+		if pidEvents[pid] == 0 {
+			t.Errorf("no events under %s", name)
+		}
+	}
+	if pidEvents[2] != 2 {
+		t.Errorf("shard-0 kept %d events, want 2 (unrelated trace filtered)", pidEvents[2])
+	}
+
+	// Rebase: shard 0's batch span starts at its local 0.1µs + 2µs epoch
+	// offset = 2.1µs on the router's timeline, inside the router fan-out.
+	for _, ev := range doc.TraceEvents {
+		if ev.PID == 2 && ev.Name == "batch" {
+			if ev.TS != 2.1 {
+				t.Errorf("shard-0 batch rebased to %vµs, want 2.1", ev.TS)
+			}
+		}
+		if ev.PID == 4 && ev.Name == "replay" {
+			if ev.TS != 8.3 {
+				t.Errorf("replica replay rebased to %vµs, want 8.3", ev.TS)
+			}
+		}
+	}
+
+	// Timeline sorted after the metadata block.
+	first := 0
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "M" {
+			first = i
+			break
+		}
+	}
+	for i := first + 1; i < len(doc.TraceEvents); i++ {
+		if doc.TraceEvents[i].TS < doc.TraceEvents[i-1].TS {
+			t.Errorf("merged events unsorted at %d", i)
+		}
+	}
+}
+
+// Without a filter the merge keeps every event, and dumps lacking an
+// epoch stay on their local timeline instead of being shifted.
+func TestMergeTraceEventsNoFilter(t *testing.T) {
+	dumps, _ := clusterDumps(t)
+	var buf bytes.Buffer
+	if err := MergeTraceEvents(&buf, dumps, TraceID{}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" {
+			n++
+		}
+	}
+	if n != 9 {
+		t.Fatalf("unfiltered merge kept %d events, want 9", n)
+	}
+
+	if err := MergeTraceEvents(&buf, []ProcessDump{{Data: []byte("not json")}}, TraceID{}); err == nil {
+		t.Fatal("bad dump accepted")
+	}
+}

@@ -151,13 +151,38 @@ type Recorder struct {
 	start time.Time
 	ring  *obs.Ring[Event]
 
-	mu     sync.Mutex
-	tracks []string // tracks[i] is the name of track i+1 (track 0 is unnamed)
+	mu      sync.Mutex
+	tracks  []string // tracks[i] is the name of track i+1 (track 0 is unnamed)
+	process string   // process identity stamped into exports ("" = "incgraph")
 }
 
 // NewRecorder returns a recorder retaining the last n events.
 func NewRecorder(n int) *Recorder {
-	return &Recorder{start: time.Now(), ring: obs.NewRing[Event](n)}
+	return NewRecorderAt(time.Now(), n)
+}
+
+// NewRecorderAt returns a recorder with an explicit clock epoch —
+// recorder timestamps are nanoseconds since start. Tests use a fixed
+// epoch for deterministic exports; production code uses NewRecorder.
+func NewRecorderAt(start time.Time, n int) *Recorder {
+	return &Recorder{start: start, ring: obs.NewRing[Event](n)}
+}
+
+// SetProcess names the process identity this recorder belongs to
+// ("router", "shard-0", "replica-0"). The name renders as the process
+// name in trace viewers and keys the per-process timeline when dumps
+// from several cluster members are merged with MergeTraceEvents.
+func (r *Recorder) SetProcess(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.process = name
+}
+
+// Process returns the process identity, or "" if unset.
+func (r *Recorder) Process() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.process
 }
 
 // Now returns the current recorder timestamp (nanoseconds since the

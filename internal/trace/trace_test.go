@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -185,10 +186,14 @@ func TestEngineTracerSpans(t *testing.T) {
 	}
 }
 
+// goldenEpoch is the fixed wall-clock epoch of golden recorders, so the
+// exported otherData.epoch_unix_ns is deterministic.
+var goldenEpoch = time.Unix(1700000000, 0)
+
 // goldenRecorder builds the fixed recording behind the golden file:
 // hand-set timestamps, one track, one run's worth of spans.
 func goldenRecorder() *Recorder {
-	rec := NewRecorder(16)
+	rec := NewRecorderAt(goldenEpoch, 16)
 	track := rec.Track("cc")
 	tid, _ := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
 

@@ -84,7 +84,18 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 type Record struct {
 	Algo  string
 	Batch graph.Batch
+	// Trace is the W3C trace ID of the request that logged this record
+	// (all-zero = untraced). It travels with shipped segments so a
+	// replica's replay spans join the original request's timeline.
+	Trace [16]byte
+	// Nanos is the wall-clock append time in unix nanoseconds (0 =
+	// unstamped legacy record). Followers subtract it from their own
+	// clock to report seconds-behind-primary.
+	Nanos int64
 }
+
+// recordTailLen is the fixed optional suffix carrying Trace and Nanos.
+const recordTailLen = 16 + 8
 
 // Options tune a log.
 type Options struct {
@@ -254,15 +265,25 @@ func (l *Log) flusher() {
 }
 
 // EncodeRecord appends the binary encoding of r's payload (not the
-// frame) to dst.
+// frame) to dst. Untraced, unstamped records keep the legacy layout
+// (algo tag + batch); a record carrying a trace ID or timestamp gains a
+// fixed 24-byte tail, which legacy decoders never see because the two
+// layouts are distinguished by payload length.
 func EncodeRecord(dst []byte, r Record) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(r.Algo)))
 	dst = append(dst, r.Algo...)
-	return graph.AppendBatchBinary(dst, r.Batch)
+	dst = graph.AppendBatchBinary(dst, r.Batch)
+	if r.Trace != ([16]byte{}) || r.Nanos != 0 {
+		dst = append(dst, r.Trace[:]...)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Nanos))
+	}
+	return dst
 }
 
 // DecodeRecord parses a record payload. Corrupted input yields an error,
-// never a panic.
+// never a panic. Both layouts decode: legacy records (nothing after the
+// batch) yield a zero Trace/Nanos, extended records carry them in a
+// fixed-size tail.
 func DecodeRecord(data []byte) (Record, error) {
 	alen, n := binary.Uvarint(data)
 	if n <= 0 || alen > uint64(len(data)-n) || alen > 256 {
@@ -273,10 +294,16 @@ func DecodeRecord(data []byte) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
-	if len(rest) != 0 {
+	rec := Record{Algo: algo, Batch: b}
+	switch len(rest) {
+	case 0:
+	case recordTailLen:
+		copy(rec.Trace[:], rest[:16])
+		rec.Nanos = int64(binary.LittleEndian.Uint64(rest[16:]))
+	default:
 		return Record{}, fmt.Errorf("wal: %d trailing bytes after record", len(rest))
 	}
-	return Record{Algo: algo, Batch: b}, nil
+	return rec, nil
 }
 
 // Append frames and writes one record, rotating the segment if it grew

@@ -41,6 +41,36 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRecordTraceTailRoundTrip pins the extended record layout: trace ID
+// and wall-clock stamp survive the codec, untraced records keep the
+// legacy byte layout, and legacy payloads decode with zero Trace/Nanos.
+func TestRecordTraceTailRoundTrip(t *testing.T) {
+	r := Record{Algo: "sssp", Batch: mkBatch(4), Nanos: 1700000000123456789}
+	copy(r.Trace[:], "0123456789abcdef")
+	enc := EncodeRecord(nil, r)
+	got, err := DecodeRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != r.Trace || got.Nanos != r.Nanos || got.Algo != r.Algo || len(got.Batch) != len(r.Batch) {
+		t.Fatalf("round trip: got %+v want %+v", got, r)
+	}
+
+	legacy := Record{Algo: "cc", Batch: mkBatch(2)}
+	legacyEnc := EncodeRecord(nil, legacy)
+	withTail := EncodeRecord(nil, Record{Algo: "cc", Batch: mkBatch(2), Nanos: 1})
+	if len(withTail) != len(legacyEnc)+recordTailLen {
+		t.Fatalf("tail adds %d bytes, want %d", len(withTail)-len(legacyEnc), recordTailLen)
+	}
+	dec, err := DecodeRecord(legacyEnc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Trace != ([16]byte{}) || dec.Nanos != 0 {
+		t.Fatalf("legacy record decoded with nonzero trace/nanos: %+v", dec)
+	}
+}
+
 func TestAppendReplay(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Open(dir, Options{})
