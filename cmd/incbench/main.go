@@ -9,6 +9,7 @@
 //	incbench -exp exp1 -scale 0.5     # smaller stand-ins
 //	incbench -exp exp2 -json out.json # machine-readable results alongside tables
 //	incbench -exp exp2 -trace t.json  # per-experiment flight recording (Perfetto)
+//	incbench -diff base.json new.json # perf-regression gate between two reports
 //
 // With -json, every measured batch-vs-incremental comparison is also
 // collected as a structured bench.Result, and the run is written as one
@@ -17,6 +18,14 @@
 // With -trace, each experiment is recorded as a span in Chrome
 // trace_event JSON, loadable in Perfetto to see where a long -exp all
 // run spends its time.
+//
+// With -diff, no experiments run: the two reports (a committed baseline
+// such as BENCH_baseline.json, and a freshly generated one) are compared
+// measurement by measurement, and the process exits 1 when any repair's
+// throughput dropped — or its work-ledger boundedness quotient inflated —
+// by more than -tolerance (default 15%). CI wires this as the
+// perf-regression smoke gate; see EXPERIMENTS.md for regenerating the
+// baseline.
 package main
 
 import (
@@ -31,33 +40,25 @@ import (
 	"incgraph/internal/trace"
 )
 
-// report is the JSON document -json writes: the run's parameters plus
-// every collected result.
-type report struct {
-	Schema     string         `json:"schema"`
-	Experiment string         `json:"experiment"`
-	Class      string         `json:"class"`
-	Seed       int64          `json:"seed"`
-	Scale      float64        `json:"scale"`
-	GoVersion  string         `json:"go_version"`
-	UnixTime   int64          `json:"unix_time"`
-	Results    []bench.Result `json:"results"`
-}
-
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|exp1|exp2|exp2types|exp3|exp4|aff|ablation|datasets|extensions|scaling|all")
-		class    = flag.String("class", "all", "query class for exp2: sssp|cc|sim|lcc|dfs|all")
-		scale    = flag.Float64("scale", 1.0, "dataset scale multiplier")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		jsonOut  = flag.String("json", "", "write machine-readable results to this file")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event recording of the run to this file")
+		exp       = flag.String("exp", "all", "experiment: table1|exp1|exp2|exp2types|exp3|exp4|aff|ablation|datasets|extensions|scaling|all")
+		class     = flag.String("class", "all", "query class for exp2: sssp|cc|sim|lcc|dfs|all")
+		scale     = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		jsonOut   = flag.String("json", "", "write machine-readable results to this file")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event recording of the run to this file")
+		diffBase  = flag.String("diff", "", "compare this baseline report against the report named by the positional arg and exit")
+		tolerance = flag.Float64("tolerance", 0.15, "relative regression tolerance for -diff (0.15 = 15%)")
 	)
 	flag.Parse()
+	if *diffBase != "" {
+		os.Exit(runDiff(*diffBase, flag.Args(), *tolerance))
+	}
 	cfg := bench.Config{Seed: *seed, Scale: *scale, Out: os.Stdout}
 
-	rep := report{
-		Schema:     "incgraph-bench/v1",
+	rep := bench.Report{
+		Schema:     bench.Schema,
 		Experiment: *exp,
 		Class:      *class,
 		Seed:       *seed,
@@ -169,6 +170,36 @@ func main() {
 		}
 		fmt.Printf("-- wrote trace to %s --\n", *traceOut)
 	}
+}
+
+// runDiff implements -diff: parse both reports, compare, render, and
+// translate the outcome into an exit code (0 pass, 1 regression, 2
+// usage or parse error).
+func runDiff(basePath string, args []string, tolerance float64) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: incbench -diff baseline.json current.json")
+		return 2
+	}
+	base, err := bench.ReadReport(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "incbench: %v\n", err)
+		return 2
+	}
+	cur, err := bench.ReadReport(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "incbench: %v\n", err)
+		return 2
+	}
+	d, err := bench.Diff(base, cur, tolerance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "incbench: %v\n", err)
+		return 2
+	}
+	d.WriteText(os.Stdout)
+	if d.Failed() {
+		return 1
+	}
+	return 0
 }
 
 func writeJSONFile(path string, v any) error {

@@ -57,6 +57,16 @@ type Result struct {
 	// the parallel scaling factor rather than a batch-vs-incremental
 	// ratio.
 	Workers int `json:"workers,omitempty"`
+	// Work is the repair's work-ledger measure (touched + |AFF| + ‖AFF‖)
+	// when the maintainer exposes the engine ledger, or the synthesized
+	// |ΔG| + |AFF| equivalent for the specialized classes; 0 when the
+	// experiment did not collect it. Unlike the timings, Work is
+	// deterministic for a fixed seed and scale, so report diffs can hold
+	// it to a tight tolerance.
+	Work int64 `json:"work,omitempty"`
+	// BoundedRatio is Work / |ΔG| — the relative-boundedness quotient of
+	// the measured repair (paper §4). 0 when Work was not collected.
+	BoundedRatio float64 `json:"bounded_ratio,omitempty"`
 }
 
 // report fills the derived Speedup field and forwards r to the Report

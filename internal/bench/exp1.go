@@ -5,6 +5,7 @@ import (
 
 	"incgraph/internal/cc"
 	"incgraph/internal/dfs"
+	"incgraph/internal/fixpoint"
 	"incgraph/internal/gen"
 	"incgraph/internal/graph"
 	"incgraph/internal/lcc"
@@ -44,6 +45,44 @@ func timeRepairAff(m applier, delta graph.Batch) (float64, int) {
 		return stopwatch(func() { aff = s.Repair() }), aff
 	}
 	return stopwatch(func() { aff = m.Apply(delta) }), aff
+}
+
+// audited is implemented by the engine-backed maintainers (SSSP, CC,
+// Sim): they expose the fixpoint work ledger and the graph it is
+// denominated against.
+type audited interface {
+	Stats() fixpoint.Stats
+	Graph() *graph.Graph
+}
+
+// grapher covers the specialized maintainers (DFS, LCC, BC) that expose
+// their graph but no engine ledger.
+type grapher interface{ Graph() *graph.Graph }
+
+// timeRepairLedger is timeRepairAff plus the work aggregates of the
+// repair: the engine ledger's Work() when the maintainer exposes one,
+// or the |ΔG| + |AFF| synthesis the serve layer uses for the
+// specialized classes. The ratio is work / |ΔG|, the boundedness
+// quotient the perf gate holds across commits.
+func timeRepairLedger(m applier, delta graph.Batch) (sec float64, aff int, work int64, ratio float64) {
+	am, isAudited := m.(audited)
+	var before fixpoint.Stats
+	if isAudited {
+		before = am.Stats()
+	}
+	sec, aff = timeRepairAff(m, delta)
+	if isAudited {
+		led := am.Stats().Sub(before).Ledger
+		led.Delta = int64(len(delta))
+		work = led.Work()
+		ratio = led.BoundedRatio()
+		return sec, aff, work, ratio
+	}
+	if _, ok := m.(grapher); ok && len(delta) > 0 {
+		work = int64(len(delta) + aff)
+		ratio = float64(work) / float64(len(delta))
+	}
+	return sec, aff, work, ratio
 }
 
 // avgUnit feeds the updates one at a time and returns the mean seconds

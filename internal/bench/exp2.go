@@ -36,7 +36,7 @@ func Exp2SSSP(cfg Config) {
 			updated.Apply(delta)
 			batch := stopwatch(func() { sssp.Dijkstra(updated, 0) })
 			inc := sssp.NewInc(g.Clone(), 0)
-			incT, aff := timeRepairAff(inc, delta)
+			incT, aff, work, ratio := timeRepairLedger(inc, delta)
 			incN := sssp.NewIncUnit(g.Clone(), 0)
 			incNT := stopwatch(func() { incN.Apply(delta) })
 			dd := sssp.NewDynDij(g.Clone(), 0)
@@ -44,7 +44,8 @@ func Exp2SSSP(cfg Config) {
 			t.row(fmt.Sprintf("%g%%", p), batch, incT, incNT, ddT)
 			cfg.report(Result{Experiment: "exp2-sssp", Dataset: name, Algo: "IncSSSP",
 				Workload:     fmt.Sprintf("|ΔG|=%g%%", p),
-				BatchSeconds: batch, IncSeconds: incT, Affected: aff})
+				BatchSeconds: batch, IncSeconds: incT, Affected: aff,
+				Work: work, BoundedRatio: ratio})
 		}
 		t.flush()
 	}
@@ -65,7 +66,7 @@ func Exp2CC(cfg Config) {
 			updated.Apply(delta)
 			batch := stopwatch(func() { cc.CCfp(updated) })
 			inc := cc.NewInc(g.Clone())
-			incT, aff := timeRepairAff(inc, delta)
+			incT, aff, work, ratio := timeRepairLedger(inc, delta)
 			incN := cc.NewInc(g.Clone())
 			incNT := stopwatch(func() {
 				for _, u := range delta {
@@ -77,7 +78,8 @@ func Exp2CC(cfg Config) {
 			t.row(fmt.Sprintf("%g%%", p), batch, incT, incNT, dynT)
 			cfg.report(Result{Experiment: "exp2-cc", Dataset: name, Algo: "IncCC",
 				Workload:     fmt.Sprintf("|ΔG|=%g%%", p),
-				BatchSeconds: batch, IncSeconds: incT, Affected: aff})
+				BatchSeconds: batch, IncSeconds: incT, Affected: aff,
+				Work: work, BoundedRatio: ratio})
 		}
 		t.flush()
 	}
@@ -99,7 +101,7 @@ func Exp2Sim(cfg Config) {
 			updated.Apply(delta)
 			batch := stopwatch(func() { sim.Simfp(updated, q) })
 			inc := sim.NewInc(g.Clone(), q)
-			incT, aff := timeRepairAff(inc, delta)
+			incT, aff, work, ratio := timeRepairLedger(inc, delta)
 			incN := sim.NewIncUnit(g.Clone(), q)
 			incNT := stopwatch(func() { incN.Apply(delta) })
 			im := sim.NewIncMatch(g.Clone(), q)
@@ -107,7 +109,8 @@ func Exp2Sim(cfg Config) {
 			t.row(fmt.Sprintf("%g%%", p), batch, incT, incNT, imT)
 			cfg.report(Result{Experiment: "exp2-sim", Dataset: name, Algo: "IncSim",
 				Workload:     fmt.Sprintf("|ΔG|=%g%%", p),
-				BatchSeconds: batch, IncSeconds: incT, Affected: aff})
+				BatchSeconds: batch, IncSeconds: incT, Affected: aff,
+				Work: work, BoundedRatio: ratio})
 		}
 		t.flush()
 	}
@@ -128,7 +131,7 @@ func Exp2LCC(cfg Config) {
 			updated.Apply(delta)
 			batch := stopwatch(func() { lcc.Run(updated) })
 			inc := lcc.NewInc(g.Clone())
-			incT, aff := timeRepairAff(inc, delta)
+			incT, aff, work, ratio := timeRepairLedger(inc, delta)
 			// The unit-at-a-time variant is orders of magnitude slower (it
 			// recomputes one-hop neighborhoods per unit update); measure it
 			// at the small sizes and extrapolate mentally beyond.
@@ -142,7 +145,8 @@ func Exp2LCC(cfg Config) {
 			t.row(fmt.Sprintf("%g%%", p), batch, incT, incNCell, dynT)
 			cfg.report(Result{Experiment: "exp2-lcc", Dataset: name, Algo: "IncLCC",
 				Workload:     fmt.Sprintf("|ΔG|=%g%%", p),
-				BatchSeconds: batch, IncSeconds: incT, Affected: aff})
+				BatchSeconds: batch, IncSeconds: incT, Affected: aff,
+				Work: work, BoundedRatio: ratio})
 		}
 		t.flush()
 	}
@@ -161,13 +165,14 @@ func Exp2DFS(cfg Config) {
 		updated.Apply(delta)
 		batch := stopwatch(func() { dfs.Run(updated) })
 		inc := dfs.NewInc(g.Clone())
-		incT, aff := timeRepairAff(inc, delta)
+		incT, aff, work, ratio := timeRepairLedger(inc, delta)
 		dyn := dfs.NewDynDFS(g.Clone())
 		dynT := stopwatch(func() { dyn.Apply(delta) })
 		t.row(fmt.Sprintf("%g%%", p), batch, incT, dynT)
 		cfg.report(Result{Experiment: "exp2-dfs", Dataset: "OKT", Algo: "IncDFS",
 			Workload:     fmt.Sprintf("|ΔG|=%g%%", p),
-			BatchSeconds: batch, IncSeconds: incT, Affected: aff})
+			BatchSeconds: batch, IncSeconds: incT, Affected: aff,
+			Work: work, BoundedRatio: ratio})
 	}
 	t.flush()
 }
@@ -199,7 +204,7 @@ func Exp2Types(cfg Config) {
 
 		batchS := stopwatch(func() { sssp.Dijkstra(cur, 0) })
 		s0 := incS.Stats()
-		iS, affS := timeRepairAff(incS, delta)
+		iS, affS, workS, ratioS := timeRepairLedger(incS, delta)
 		s1 := incS.Stats()
 		iSN := stopwatch(func() { incSN.Apply(delta) })
 		dS := timeRepair(dynS, delta)
@@ -210,11 +215,12 @@ func Exp2Types(cfg Config) {
 		rowsS = append(rowsS, []any{fmt.Sprintf("M%d", w), batchS, iS, iSN, dS, hfrac})
 		cfg.report(Result{Experiment: "exp2-types", Dataset: "WD", Algo: "IncSSSP",
 			Workload:     fmt.Sprintf("M%d", w),
-			BatchSeconds: batchS, IncSeconds: iS, Affected: affS})
+			BatchSeconds: batchS, IncSeconds: iS, Affected: affS,
+			Work: workS, BoundedRatio: ratioS})
 
 		batchC := stopwatch(func() { cc.CCfp(cur) })
 		c0 := incC.Stats()
-		iC, affC := timeRepairAff(incC, delta)
+		iC, affC, workC, ratioC := timeRepairLedger(incC, delta)
 		c1 := incC.Stats()
 		dC := stopwatch(func() { dynC.Apply(delta) })
 		hfrac = "-"
@@ -224,11 +230,12 @@ func Exp2Types(cfg Config) {
 		rowsC = append(rowsC, []any{fmt.Sprintf("M%d", w), batchC, iC, dC, hfrac})
 		cfg.report(Result{Experiment: "exp2-types", Dataset: "WD", Algo: "IncCC",
 			Workload:     fmt.Sprintf("M%d", w),
-			BatchSeconds: batchC, IncSeconds: iC, Affected: affC})
+			BatchSeconds: batchC, IncSeconds: iC, Affected: affC,
+			Work: workC, BoundedRatio: ratioC})
 
 		batchM := stopwatch(func() { sim.Simfp(cur, q) })
 		m0 := incM.Stats()
-		iM, affM := timeRepairAff(incM, delta)
+		iM, affM, workM, ratioM := timeRepairLedger(incM, delta)
 		m1 := incM.Stats()
 		dM := timeRepair(im, delta)
 		hfrac = "-"
@@ -238,7 +245,8 @@ func Exp2Types(cfg Config) {
 		rowsM = append(rowsM, []any{fmt.Sprintf("M%d", w), batchM, iM, dM, hfrac})
 		cfg.report(Result{Experiment: "exp2-types", Dataset: "WD", Algo: "IncSim",
 			Workload:     fmt.Sprintf("M%d", w),
-			BatchSeconds: batchM, IncSeconds: iM, Affected: affM})
+			BatchSeconds: batchM, IncSeconds: iM, Affected: affM,
+			Work: workM, BoundedRatio: ratioM})
 	}
 	render := func(title string, header []string, rows [][]any) {
 		t := newTable(cfg.Out, title, header...)

@@ -148,6 +148,18 @@ func (c *Instance) RelaxOut(x fixpoint.Var, xv int64, emit func(fixpoint.Var, in
 	c.neighbors(x, func(y fixpoint.Var) { emit(y, xv) })
 }
 
+// OutDegree reports the number of dependency edges leaving x — its
+// (undirected) neighbor count — feeding ‖AFF‖ in the engine's work ledger
+// (see fixpoint.OutDegreer). O(1): adjacency slice lengths.
+func (c *Instance) OutDegree(x fixpoint.Var) int64 {
+	v := graph.NodeID(x)
+	d := int64(len(c.G.Out(v)))
+	if c.G.Directed() {
+		d += int64(len(c.G.In(v)))
+	}
+	return d
+}
+
 // CCfp runs the batch fixpoint algorithm and returns the labels.
 func CCfp(g *graph.Graph) []int64 {
 	eng := fixpoint.New[int64](&Instance{G: g}, fixpoint.PriorityOrder)

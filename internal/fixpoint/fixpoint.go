@@ -84,6 +84,12 @@ type Stats struct {
 	// paper reports in Exp-2(2).
 	HSeconds      float64 `json:"h_seconds"`
 	ResumeSeconds float64 `json:"resume_seconds"`
+
+	// Ledger is the boundedness work account of the incremental runs: the
+	// |CHANGED|/|AFF|/‖AFF‖/rounds quantities of Theorem 3 (see
+	// WorkLedger). It follows the same cumulative Sub/Add snapshot
+	// discipline as the counters above.
+	Ledger WorkLedger `json:"ledger"`
 }
 
 // Inspected returns the total number of variable inspections, the cost
@@ -132,6 +138,7 @@ func (s Stats) Sub(o Stats) Stats {
 		ScopeSize:     s.ScopeSize,
 		HSeconds:      s.HSeconds - o.HSeconds,
 		ResumeSeconds: s.ResumeSeconds - o.ResumeSeconds,
+		Ledger:        s.Ledger.Sub(o.Ledger),
 	}
 }
 
@@ -149,6 +156,7 @@ func (s Stats) Add(o Stats) Stats {
 		ScopeSize:     o.ScopeSize,
 		HSeconds:      s.HSeconds + o.HSeconds,
 		ResumeSeconds: s.ResumeSeconds + o.ResumeSeconds,
+		Ledger:        s.Ledger.Add(o.Ledger),
 	}
 }
 
@@ -205,8 +213,12 @@ type Engine[V any] struct {
 
 	wl      worklist     // step-function scope
 	hq      *indexedHeap // h's queue, ordered by old timestamps
-	inScope []int64      // epoch marks for H⁰ membership
+	inScope []int64      // epoch marks for H⁰ and AFF membership
+	chMark  []int64      // epoch marks: written this run (ledger)
+	chOld   []V          // run-start values of written variables (ledger)
+	chList  []Var        // written variables, swept by ledgerSettle
 	epoch   int64
+	deg     OutDegreer // instance's optional out-degree hook for ‖AFF‖
 
 	// Parallel execution mode (see parallel.go). All fields stay nil/zero
 	// for sequential engines, so the n<=1 path allocates nothing extra.
@@ -243,6 +255,7 @@ func New[V any](inst Instance[V], policy Policy, opts ...Option) *Engine[V] {
 	}
 	e := &Engine[V]{inst: inst, policy: policy, st: st, parThreshold: cfg.parThreshold}
 	e.relaxer, _ = inst.(Relaxer[V])
+	e.deg, _ = inst.(OutDegreer)
 	e.getFn = func(x Var) V {
 		e.st.Stats.Reads++
 		return e.st.Val[x]
@@ -258,6 +271,9 @@ func New[V any](inst Instance[V], policy Policy, opts ...Option) *Engine[V] {
 		return e.st.TS[a] < e.st.TS[b]
 	})
 	e.inScope = make([]int64, n)
+	e.chMark = make([]int64, n)
+	e.chOld = make([]V, n)
+	e.chList = make([]Var, 0, n)
 	e.emitFn = func(z Var, cand V) {
 		if e.install(z, cand) {
 			e.wl.AddOrAdjust(z)
@@ -337,6 +353,16 @@ func (e *Engine[V]) Grow() {
 		e.st.Val = append(e.st.Val, e.inst.Bottom(x))
 		e.st.TS = append(e.st.TS, 0)
 		e.inScope = append(e.inScope, 0)
+		e.chMark = append(e.chMark, 0)
+		var zero V
+		e.chOld = append(e.chOld, zero)
+	}
+	if cap(e.chList) < n {
+		// Keep one preallocated slot per variable so ledgerWrite never
+		// allocates mid-run.
+		cl := make([]Var, len(e.chList), n)
+		copy(cl, e.chList)
+		e.chList = cl
 	}
 	for e.parSeen != nil && len(e.parSeen) < n {
 		e.parSeen = append(e.parSeen, 0)
@@ -353,9 +379,11 @@ func (e *Engine[V]) Value(x Var) V { return e.st.Val[x] }
 func (e *Engine[V]) recompute(x Var) bool {
 	e.st.Stats.Updates++
 	newv := e.inst.Update(x, e.getFn)
-	if e.inst.Equal(newv, e.st.Val[x]) {
+	cur := e.st.Val[x]
+	if e.inst.Equal(newv, cur) {
 		return false
 	}
+	e.ledgerWrite(x, cur)
 	e.st.Val[x] = newv
 	e.st.clock++
 	e.st.TS[x] = e.st.clock
@@ -366,9 +394,11 @@ func (e *Engine[V]) recompute(x Var) bool {
 // install writes a relaxed candidate if it improves on the current value.
 func (e *Engine[V]) install(z Var, cand V) bool {
 	e.st.Stats.Updates++
-	if !e.inst.Less(cand, e.st.Val[z]) {
+	cur := e.st.Val[z]
+	if !e.inst.Less(cand, cur) {
 		return false
 	}
+	e.ledgerWrite(z, cur)
 	e.st.Val[z] = cand
 	e.st.clock++
 	e.st.TS[z] = e.st.clock
@@ -391,25 +421,34 @@ func (e *Engine[V]) Run() {
 // variable from the scope and propagates its value to its dependents —
 // by pushing per-edge candidates when the instance is meet-form, by full
 // re-evaluation otherwise — extending the scope with every dependent
-// whose value changed.
+// whose value changed. The outer loop counts BFS-level rounds into the
+// ledger (the scope size at round start bounds the inner pops) without
+// changing the pop order or allocating.
 func (e *Engine[V]) drain() {
 	if e.relaxer != nil {
-		for {
+		for e.wl.Len() > 0 {
+			e.st.Stats.Ledger.Rounds++
+			for n := e.wl.Len(); n > 0; n-- {
+				x, ok := e.wl.Pop()
+				if !ok {
+					break
+				}
+				e.st.Stats.Pops++
+				e.relaxer.RelaxOut(x, e.st.Val[x], e.emitFn)
+			}
+		}
+		return
+	}
+	for e.wl.Len() > 0 {
+		e.st.Stats.Ledger.Rounds++
+		for n := e.wl.Len(); n > 0; n-- {
 			x, ok := e.wl.Pop()
 			if !ok {
-				return
+				break
 			}
 			e.st.Stats.Pops++
-			e.relaxer.RelaxOut(x, e.st.Val[x], e.emitFn)
+			e.inst.Dependents(x, e.visitFn)
 		}
-	}
-	for {
-		x, ok := e.wl.Pop()
-		if !ok {
-			return
-		}
-		e.st.Stats.Pops++
-		e.inst.Dependents(x, e.visitFn)
 	}
 }
 
@@ -425,6 +464,7 @@ func (e *Engine[V]) drainRounds() {
 	for e.wl.Len() > 0 {
 		frontier := e.wl.Len()
 		round++
+		e.st.Stats.Ledger.Rounds++
 		pops0, changes0 := e.st.Stats.Pops, e.st.Stats.Changes
 		for n := 0; n < frontier; n++ {
 			x, ok := e.wl.Pop()
@@ -498,6 +538,11 @@ func (e *Engine[V]) IncrementalRunDelta(touched []Touched, pushSeeds []Var) []Va
 		before = e.st.Stats
 		e.tracer.BeginRun(len(touched), len(pushSeeds))
 	}
+	led := &e.st.Stats.Ledger
+	led.Runs++
+	led.Touched += int64(len(touched))
+	led.Seeds += int64(len(pushSeeds))
+	led.RecomputeEst = int64(e.inst.NumVars())
 	h0 := e.scopeFunction(touched)
 	mid := time.Now()
 	e.st.Stats.ScopeSize = int64(len(h0))
@@ -511,9 +556,11 @@ func (e *Engine[V]) IncrementalRunDelta(touched []Touched, pushSeeds []Var) []Va
 		e.wl.AddOrAdjust(x)
 	}
 	for _, x := range pushSeeds {
+		e.ledgerAff(x)
 		e.wl.AddOrAdjust(x)
 	}
 	e.dispatchDrain()
+	e.ledgerSettle()
 	if e.tracer != nil {
 		d := e.st.Stats
 		e.tracer.EndRun(d.Pops-resume0.Pops, d.Changes-resume0.Changes)
@@ -535,10 +582,18 @@ func (e *Engine[V]) scopeFunction(touched []Touched) []Var {
 	// loop below — so <_C read by hGetFn/hEnqFn is the previous run's.
 	que := e.hq
 	e.epoch++
+	e.chList = e.chList[:0] // drop first-write records of any prior epoch
 	h0 := make([]Var, 0, len(touched)*2)
 	addH0 := func(x Var) {
 		if e.inScope[x] != e.epoch {
 			e.inScope[x] = e.epoch
+			// H⁰ members are the first entrants of the run's affected
+			// area; charge |AFF| and ‖AFF‖ here (ledgerAff would see the
+			// mark already set).
+			st.Stats.Ledger.Aff++
+			if e.deg != nil {
+				st.Stats.Ledger.AffEdges += e.deg.OutDegree(x)
+			}
 			h0 = append(h0, x)
 		}
 	}
@@ -561,6 +616,7 @@ func (e *Engine[V]) scopeFunction(touched []Touched) []Var {
 		if e.inst.Less(st.Val[x], newv) {
 			// x's old value is potentially infeasible for G ⊕ ΔG: revise
 			// it and inspect the variables it contributed to.
+			e.ledgerWrite(x, st.Val[x])
 			st.Val[x] = newv
 			st.Stats.HResets++
 			addH0(x)

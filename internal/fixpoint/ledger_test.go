@@ -1,0 +1,297 @@
+package fixpoint
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// OutDegree makes the test instances degree-aware (fixpoint.OutDegreer),
+// so the ledger's ‖AFF‖ accounting is exercised on every engine the tests
+// build. pushMinPlus inherits it by embedding.
+func (m *minPlus) OutDegree(x Var) int64 { return int64(len(m.out[x])) }
+
+func (m *minLabel) OutDegree(x Var) int64 { return int64(len(m.adj[x])) }
+
+// affSet reads the engine's epoch marks back out: the exact AFF membership
+// of the most recent incremental run and the set of variables written
+// during it (a superset of CHANGED — transient writes that settle back are
+// marked but not charged). White-box — the marks are the accounting's
+// source of truth, so comparing the counters against the mark sets closes
+// the loop.
+func affSet[V any](e *Engine[V]) (aff, written map[Var]bool) {
+	aff, written = map[Var]bool{}, map[Var]bool{}
+	for x := range e.inScope {
+		if e.inScope[x] == e.epoch {
+			aff[Var(x)] = true
+		}
+		if e.chMark[x] == e.epoch {
+			written[Var(x)] = true
+		}
+	}
+	return aff, written
+}
+
+// TestLedgerPaperExample anchors the ledger on the worked example of the
+// paper (Fig. 2/3, Example 4): delete (5,6), insert (5,3). The affected
+// area must contain H⁰ = {3, 6, 7} plus everything that changed, and the
+// counters must equal the mark sets exactly.
+func TestLedgerPaperExample(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+	if led := e.State().Stats.Ledger; led.Runs != 0 || led.Aff != 0 || led.Changed != 0 {
+		t.Fatalf("batch run charged the incremental ledger: %+v", led)
+	}
+	pre := append([]int64(nil), e.State().Val...)
+
+	m.delEdge(5, 6)
+	m.addEdge(5, 3, 1)
+	before := e.State().Stats
+	e.IncrementalRun([]Var{6, 3})
+	led := e.State().Stats.Sub(before).Ledger
+
+	if led.Runs != 1 || led.Touched != 2 {
+		t.Fatalf("runs/touched: %+v", led)
+	}
+	aff, _ := affSet(e)
+	if int64(len(aff)) != led.Aff {
+		t.Fatalf("Aff %d != mark set %d", led.Aff, len(aff))
+	}
+	var wantEdges int64
+	for x := range aff {
+		wantEdges += int64(len(m.out[x]))
+	}
+	if led.AffEdges != wantEdges {
+		t.Fatalf("AffEdges %d, want %d", led.AffEdges, wantEdges)
+	}
+	// CHANGED is exactly the externally visible diff, and every change is
+	// inside AFF; H⁰ ⊆ AFF.
+	diffs := int64(0)
+	for x, v := range e.State().Val {
+		if v != pre[x] {
+			diffs++
+			if !aff[Var(x)] {
+				t.Fatalf("var %d changed outside AFF", x)
+			}
+		}
+	}
+	if led.Changed != diffs {
+		t.Fatalf("Changed %d != visible diff %d", led.Changed, diffs)
+	}
+	for _, x := range []Var{3, 6, 7} {
+		if !aff[x] {
+			t.Fatalf("H⁰ member %d not in AFF", x)
+		}
+	}
+	if led.Rounds < 1 {
+		t.Fatalf("Rounds = %d, want >= 1", led.Rounds)
+	}
+	if led.RecomputeEst != int64(m.NumVars()) {
+		t.Fatalf("RecomputeEst = %d, want %d", led.RecomputeEst, m.NumVars())
+	}
+	if w := led.Work(); w != led.Touched+led.Aff+led.AffEdges {
+		t.Fatalf("Work = %d", w)
+	}
+}
+
+// TestLedgerDifferentialRandom is the engine-level differential test:
+// across random graphs, update streams, push/pull propagation and both
+// policies, the ledger's counters must equal the instrumented mark sets,
+// and every variable whose value changed must be inside AFF.
+func TestLedgerDifferentialRandom(t *testing.T) {
+	const n = 40
+	type variant struct {
+		name   string
+		policy Policy
+		push   bool
+	}
+	for _, vt := range []variant{
+		{"pull-priority", PriorityOrder, false},
+		{"pull-fifo", FIFOOrder, false},
+		{"push-priority", PriorityOrder, true},
+		{"push-fifo", FIFOOrder, true},
+	} {
+		t.Run(vt.name, func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				m := newMinPlus(n, 0)
+				for i := 0; i < 130; i++ {
+					u, v := Var(r.Intn(n)), Var(r.Intn(n))
+					if u != v {
+						m.addEdge(u, v, int64(r.Intn(20)+1))
+					}
+				}
+				var e *Engine[int64]
+				if vt.push {
+					e = New[int64](pushMinPlus{m}, vt.policy)
+				} else {
+					e = New[int64](m, vt.policy)
+				}
+				e.Run()
+				rng := rand.New(rand.NewSource(seed + 500))
+				for round := 0; round < 6; round++ {
+					pre := append([]int64(nil), e.State().Val...)
+					touched := applyRandomDelta(rng, n, 6, m)
+					before := e.State().Stats
+					e.IncrementalRun(touched)
+					led := e.State().Stats.Sub(before).Ledger
+
+					aff, written := affSet(e)
+					if int64(len(aff)) != led.Aff {
+						t.Fatalf("seed %d round %d: Aff %d vs mark set %d",
+							seed, round, led.Aff, len(aff))
+					}
+					var wantEdges int64
+					for x := range aff {
+						wantEdges += int64(len(m.out[x]))
+					}
+					if led.AffEdges != wantEdges {
+						t.Fatalf("seed %d round %d: AffEdges %d, want %d", seed, round, led.AffEdges, wantEdges)
+					}
+					diffs := int64(0)
+					for x, v := range e.State().Val {
+						if v != pre[x] {
+							diffs++
+							if !aff[Var(x)] {
+								t.Fatalf("seed %d round %d: var %d changed outside AFF", seed, round, x)
+							}
+							if !written[Var(x)] {
+								t.Fatalf("seed %d round %d: var %d changed without a recorded write", seed, round, x)
+							}
+						}
+					}
+					if led.Changed != diffs {
+						t.Fatalf("seed %d round %d: Changed %d != visible diff %d", seed, round, led.Changed, diffs)
+					}
+					if led.Changed > int64(len(written)) {
+						t.Fatalf("seed %d round %d: Changed %d exceeds written set %d", seed, round, led.Changed, len(written))
+					}
+					if !e.Fixpoint() {
+						t.Fatalf("seed %d round %d: not a fixpoint", seed, round)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLedgerSeqParBitIdentical: the schedule-independent ledger — Portable
+// strips only Rounds, whose BFS decomposition legitimately differs between
+// Gauss–Seidel and Jacobi drains — must be bit-identical between a
+// sequential engine and WithWorkers engines, cumulatively across an update
+// stream, for push and pull propagation under both policies.
+func TestLedgerSeqParBitIdentical(t *testing.T) {
+	const n = 40
+	type variant struct {
+		name   string
+		policy Policy
+		push   bool
+	}
+	for _, vt := range []variant{
+		{"pull-priority", PriorityOrder, false},
+		{"pull-fifo", FIFOOrder, false},
+		{"push-priority", PriorityOrder, true},
+		{"push-fifo", FIFOOrder, true},
+	} {
+		t.Run(vt.name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				build := func() *minPlus {
+					r := rand.New(rand.NewSource(seed))
+					m := newMinPlus(n, 0)
+					for i := 0; i < 130; i++ {
+						u, v := Var(r.Intn(n)), Var(r.Intn(n))
+						if u != v {
+							m.addEdge(u, v, int64(r.Intn(20)+1))
+						}
+					}
+					return m
+				}
+				gs, gp := build(), build()
+				mk := func(m *minPlus, opts ...Option) *Engine[int64] {
+					if vt.push {
+						return New[int64](pushMinPlus{m}, vt.policy, opts...)
+					}
+					return New[int64](m, vt.policy, opts...)
+				}
+				seq := mk(gs)
+				par := mk(gp, WithWorkers(3), WithParThreshold(1))
+				seq.Run()
+				par.Run()
+				rng := rand.New(rand.NewSource(seed + 99))
+				for round := 0; round < 5; round++ {
+					touched := applyRandomDelta(rng, n, 8, gs, gp)
+					seq.IncrementalRun(touched)
+					par.IncrementalRun(touched)
+					ls := seq.State().Stats.Ledger.Portable()
+					lp := par.State().Stats.Ledger.Portable()
+					if ls != lp {
+						t.Fatalf("seed %d round %d: sequential ledger %+v != parallel %+v",
+							seed, round, ls, lp)
+					}
+				}
+				par.Close()
+			}
+		})
+	}
+}
+
+// TestLedgerZeroAlloc extends the nil-tracer guarantee to the ledger: the
+// accounting must add zero allocations to the no-audit engine path, for
+// empty, push-seed, and touched incremental runs alike.
+func TestLedgerZeroAlloc(t *testing.T) {
+	m := paperGraph()
+	e := New[int64](m, PriorityOrder)
+	e.Run()
+
+	if n := testing.AllocsPerRun(100, func() {
+		e.IncrementalRunDelta(nil, nil)
+	}); n != 0 {
+		t.Errorf("empty incremental run: %v allocs, want 0", n)
+	}
+	seeds := []Var{2}
+	if n := testing.AllocsPerRun(100, func() {
+		e.IncrementalRunDelta(nil, seeds)
+	}); n != 0 {
+		t.Errorf("push-seed incremental run: %v allocs, want 0", n)
+	}
+}
+
+// TestWorkLedgerAlgebra checks the Sub/Add snapshot algebra and the
+// derived ratios the serve layer publishes.
+func TestWorkLedgerAlgebra(t *testing.T) {
+	a := WorkLedger{Runs: 3, Delta: 10, Touched: 12, Seeds: 2, Changed: 20,
+		Aff: 30, AffEdges: 90, Rounds: 9, RecomputeEst: 1000}
+	b := WorkLedger{Runs: 1, Delta: 4, Touched: 5, Seeds: 1, Changed: 8,
+		Aff: 12, AffEdges: 40, Rounds: 4, RecomputeEst: 900}
+	d := a.Sub(b)
+	if d.Runs != 2 || d.Delta != 6 || d.Changed != 12 || d.AffEdges != 50 {
+		t.Fatalf("Sub: %+v", d)
+	}
+	if d.RecomputeEst != 1000 {
+		t.Fatalf("Sub must keep the newer RecomputeEst: %+v", d)
+	}
+	if got := b.Add(d); got != a {
+		t.Fatalf("Add(Sub) round-trip: %+v != %+v", got, a)
+	}
+	if w := a.Work(); w != 12+30+90 {
+		t.Fatalf("Work = %d", w)
+	}
+	if r := a.BoundedRatio(); r != float64(132)/10 {
+		t.Fatalf("BoundedRatio = %v", r)
+	}
+	if r := a.RecomputeRatio(); r != float64(132)/1000 {
+		t.Fatalf("RecomputeRatio = %v", r)
+	}
+	var zero WorkLedger
+	if zero.BoundedRatio() != 0 || zero.RecomputeRatio() != 0 {
+		t.Fatal("zero ledger ratios must be 0, not NaN")
+	}
+	p := a.Portable()
+	if p.Rounds != 0 || p.Aff != a.Aff {
+		t.Fatalf("Portable: %+v", p)
+	}
+	if !reflect.DeepEqual(a.Portable(), a.Portable()) {
+		t.Fatal("Portable not deterministic")
+	}
+}

@@ -298,6 +298,7 @@ func (e *Engine[V]) drainPar() {
 	for e.wl.Len() > 0 {
 		frontier := e.wl.Len()
 		round++
+		e.st.Stats.Ledger.Rounds++
 		pops0, changes0 := e.st.Stats.Pops, e.st.Stats.Changes
 		if frontier < e.parThreshold {
 			e.par.SeqRounds++
@@ -399,7 +400,8 @@ func (e *Engine[V]) parRound() (cands, busiest, wall int64) {
 			pw.reads = 0
 			for _, c := range pw.cands {
 				e.st.Stats.Updates++
-				if !e.inst.Equal(c.v, e.st.Val[c.x]) {
+				if cur := e.st.Val[c.x]; !e.inst.Equal(c.v, cur) {
+					e.ledgerWrite(c.x, cur)
 					e.st.Val[c.x] = c.v
 					e.st.clock++
 					e.st.TS[c.x] = e.st.clock

@@ -164,12 +164,20 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	}
 }
 
-// Empty merged histograms expose NaN quantiles, matching live
-// histograms, so absent data is visible rather than fabricated as 0.
-func TestMergedHistogramEmptyNaN(t *testing.T) {
+// Empty merged histograms expose 0 quantiles, matching live
+// histograms: a NaN would flow into every JSON rollup built on the
+// federation (the cluster bounded-ratio series among them) and either
+// fail encoding or poison downstream arithmetic. Absent data is
+// distinguishable by the zero count, not by a sentinel value.
+func TestMergedHistogramEmptyZero(t *testing.T) {
 	fed := NewFederation()
 	m := fed.MergedHistogram("nope")
-	if !math.IsNaN(m.Quantile(0.99)) {
-		t.Fatalf("empty quantile = %v, want NaN", m.Quantile(0.99))
+	if m.Count != 0 {
+		t.Fatalf("empty merge count = %d", m.Count)
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if v := m.Quantile(q); v != 0 {
+			t.Fatalf("empty merged Quantile(%v) = %v, want 0", q, v)
+		}
 	}
 }

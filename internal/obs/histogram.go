@@ -72,8 +72,14 @@ func bucketMid(i int) float64 {
 	return (lo + hi) / 2
 }
 
-// Observe records one sample.
+// Observe records one sample. Non-finite samples are dropped entirely:
+// a NaN would otherwise poison the running sum and max (NaN defeats
+// every >= comparison, so the max CAS would store it), turning every
+// later scrape of this series into NaN.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	h.buckets[bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
@@ -101,11 +107,13 @@ func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
 // The estimate is the midpoint of the bucket holding the rank-⌈q·n⌉
 // sample, so its relative error is bounded by half the bucket width
 // (~6.25%); q = 1 returns the exact maximum. With no samples it returns
-// NaN, matching Prometheus summary semantics.
+// 0 rather than the Prometheus-conventional NaN: quantiles of empty
+// histograms flow into JSON endpoints and federation rollups, where a
+// NaN either fails encoding or propagates through downstream arithmetic.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
-		return math.NaN()
+		return 0
 	}
 	if q >= 1 {
 		return h.Max()
@@ -197,10 +205,11 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
 
 // Quantile estimates the q-quantile of the snapshot, with the same
 // contract as Histogram.Quantile: bucket-midpoint estimates, exact max
-// at q = 1, NaN when empty.
+// at q = 1, 0 when empty (never NaN — snapshots feed federation
+// rollups and JSON responses).
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
-		return math.NaN()
+		return 0
 	}
 	if q >= 1 {
 		return s.Max

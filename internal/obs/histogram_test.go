@@ -48,9 +48,15 @@ func TestBucketEdgeCases(t *testing.T) {
 	}
 	var h Histogram
 	h.Observe(0)
-	h.Observe(math.Inf(1))
-	if h.Count() != 2 {
-		t.Fatalf("count %d, want 2", h.Count())
+	h.Observe(math.Inf(1)) // dropped: non-finite samples are rejected
+	h.Observe(math.NaN())  // dropped
+	if h.Count() != 1 {
+		t.Fatalf("count %d, want 1 (non-finite samples must be dropped)", h.Count())
+	}
+	for name, v := range map[string]float64{"sum": h.Sum(), "max": h.Max(), "p99": h.Quantile(0.99)} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s = %v after non-finite observes", name, v)
+		}
 	}
 }
 
@@ -101,10 +107,37 @@ func TestQuantileAccuracy(t *testing.T) {
 	}
 }
 
-func TestQuantileEmpty(t *testing.T) {
+// Empty and single-bucket states must never yield NaN/Inf from any
+// derived accessor: these values flow verbatim into /metrics.json and
+// the federation rollups.
+func TestQuantileEmptyAndSingleBucket(t *testing.T) {
 	var h Histogram
-	if q := h.Quantile(0.5); !math.IsNaN(q) {
-		t.Fatalf("empty histogram quantile = %g, want NaN", q)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %g, want 0", q, v)
+		}
+	}
+	if s := h.Snapshot(); s.Quantile(0.5) != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+
+	// One sample -> one occupied bucket: every quantile collapses to it.
+	h.Observe(0.25)
+	for _, q := range []float64{0, 0.5, 0.99} {
+		v := h.Quantile(q)
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v-0.25) > 0.25*0.0625 {
+			t.Fatalf("single-bucket Quantile(%v) = %g", q, v)
+		}
+	}
+	if v := h.Quantile(1); v != 0.25 {
+		t.Fatalf("single-bucket max quantile = %g", v)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 {
+		t.Fatalf("snapshot buckets = %+v", s.Buckets)
+	}
+	if v := s.Quantile(0.95); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("single-bucket snapshot quantile = %g", v)
 	}
 }
 
@@ -112,7 +145,10 @@ func TestCounterGauge(t *testing.T) {
 	var c Counter
 	c.Add(2.5)
 	c.Inc()
-	c.Add(-5) // ignored: counters are monotone
+	c.Add(-5)           // ignored: counters are monotone
+	c.Add(math.NaN())   // ignored: would poison the sum forever
+	c.Add(math.Inf(1))  // ignored
+	c.Add(math.Inf(-1)) // ignored
 	if got := c.Value(); got != 3.5 {
 		t.Fatalf("counter = %g, want 3.5", got)
 	}

@@ -26,10 +26,12 @@ type Counter struct {
 	bits atomic.Uint64
 }
 
-// Add increments the counter by v. Negative deltas are a programmer
-// error and are ignored, keeping the counter monotone.
+// Add increments the counter by v. Negative and non-finite deltas are
+// a programmer error and are ignored: negatives would break
+// monotonicity, and a single NaN or +Inf would poison the sum for the
+// process's remaining lifetime (NaN passes a bare v < 0 check).
 func (c *Counter) Add(v float64) {
-	if v < 0 {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
 	for {

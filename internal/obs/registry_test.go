@@ -71,7 +71,7 @@ func TestHandlerContentTypeAndValidity(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total", "A.").Inc()
 	h := r.Histogram("h_seconds", "H.", L("x", `quote " backslash \ done`))
-	// Empty histogram: quantiles expose NaN, which must still be a valid
+	// Empty histogram: quantiles expose 0 (never NaN), still a valid
 	// sample value.
 	_ = h
 	rec := httptest.NewRecorder()

@@ -1,0 +1,105 @@
+package obs
+
+import "sync"
+
+// TopK retains the K highest-scoring items ever offered — the bounded
+// "worst offenders" structure behind GET /debug/offenders: every applied
+// batch offers its boundedness ratio, and only the K worst survive, so
+// the memory cost is fixed no matter how long the host runs.
+//
+// Items are kept in a slice sorted by descending score; K is small
+// (tens), so insertion by shift beats heap bookkeeping and keeps
+// Snapshot allocation-only. All methods are safe for concurrent use.
+type TopK[T any] struct {
+	mu    sync.Mutex
+	k     int
+	score []float64
+	items []T
+}
+
+// NewTopK returns a TopK retaining the k highest-scoring offers; k < 1
+// is treated as 1.
+func NewTopK[T any](k int) *TopK[T] {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK[T]{
+		k:     k,
+		score: make([]float64, 0, k),
+		items: make([]T, 0, k),
+	}
+}
+
+// Offer submits an item with its score, returning whether it was
+// retained. Non-finite scores (NaN, ±Inf) are rejected outright — a
+// poisoned ratio must not evict real offenders or leak NaN into the
+// exposition.
+func (t *TopK[T]) Offer(score float64, v T) bool {
+	if !isFinite(score) {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.score) == t.k && score <= t.score[t.k-1] {
+		return false
+	}
+	// Find the insertion point (first index with a strictly smaller
+	// score — equal scores keep arrival order).
+	i := len(t.score)
+	for i > 0 && t.score[i-1] < score {
+		i--
+	}
+	if len(t.score) < t.k {
+		t.score = append(t.score, 0)
+		var zero T
+		t.items = append(t.items, zero)
+	}
+	// When full the copy shifts [i, k-2] into [i+1, k-1], evicting the
+	// lowest-scored item; the admission check above guarantees i ≤ k-1.
+	copy(t.score[i+1:], t.score[i:])
+	copy(t.items[i+1:], t.items[i:])
+	t.score[i] = score
+	t.items[i] = v
+	return true
+}
+
+// Snapshot returns the retained items, highest score first.
+func (t *TopK[T]) Snapshot() []T {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]T(nil), t.items...)
+}
+
+// Len returns the number of retained items (≤ K).
+func (t *TopK[T]) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.items)
+}
+
+// Max returns the highest retained score, 0 when empty.
+func (t *TopK[T]) Max() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.score) == 0 {
+		return 0
+	}
+	return t.score[0]
+}
+
+// Min returns the lowest retained score — the admission threshold once
+// full — 0 when empty.
+func (t *TopK[T]) Min() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.score) == 0 {
+		return 0
+	}
+	return t.score[len(t.score)-1]
+}
+
+// isFinite reports whether f is neither NaN nor ±Inf, without importing
+// math for two comparisons.
+func isFinite(f float64) bool {
+	return f == f && f-f == 0
+}

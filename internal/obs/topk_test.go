@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestTopKRetainsHighest(t *testing.T) {
+	tk := NewTopK[int](3)
+	if tk.Len() != 0 || tk.Max() != 0 || tk.Min() != 0 {
+		t.Fatal("empty TopK must report zeroes")
+	}
+	for i, s := range []float64{5, 1, 9, 3, 7, 2} {
+		tk.Offer(s, i)
+	}
+	got := tk.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	// Scores 9, 7, 5 belong to items 2, 4, 0.
+	if got[0] != 2 || got[1] != 4 || got[2] != 0 {
+		t.Fatalf("snapshot = %v, want [2 4 0]", got)
+	}
+	if tk.Max() != 9 || tk.Min() != 5 {
+		t.Fatalf("max/min = %v/%v, want 9/5", tk.Max(), tk.Min())
+	}
+	if tk.Offer(4, 99) {
+		t.Fatal("score below the admission threshold must be rejected")
+	}
+}
+
+func TestTopKEqualScoresKeepArrivalOrder(t *testing.T) {
+	tk := NewTopK[string](4)
+	tk.Offer(2, "a")
+	tk.Offer(2, "b")
+	tk.Offer(3, "c")
+	tk.Offer(2, "d")
+	if got := tk.Snapshot(); got[0] != "c" || got[1] != "a" || got[2] != "b" || got[3] != "d" {
+		t.Fatalf("snapshot = %v", got)
+	}
+}
+
+func TestTopKRejectsNonFinite(t *testing.T) {
+	tk := NewTopK[int](2)
+	for _, s := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if tk.Offer(s, 1) {
+			t.Fatalf("non-finite score %v must be rejected", s)
+		}
+	}
+	if tk.Len() != 0 {
+		t.Fatalf("len = %d after non-finite offers", tk.Len())
+	}
+	tk.Offer(1, 7)
+	if !isFinite(tk.Max()) || tk.Max() != 1 {
+		t.Fatalf("max = %v", tk.Max())
+	}
+}
+
+// TestTopKDifferentialRandom compares the structure against sorting the
+// full offer history, across random streams and capacities.
+func TestTopKDifferentialRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(8) + 1
+		tk := NewTopK[int](k)
+		var scores []float64
+		for i := 0; i < 200; i++ {
+			s := float64(rng.Intn(50))
+			scores = append(scores, s)
+			tk.Offer(s, i)
+		}
+		want := append([]float64(nil), scores...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := tk.Snapshot()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: len %d, want %d", seed, len(got), len(want))
+		}
+		for i, idx := range got {
+			if scores[idx] != want[i] {
+				t.Fatalf("seed %d: rank %d has score %v, want %v", seed, i, scores[idx], want[i])
+			}
+		}
+		if tk.Max() != want[0] || tk.Min() != want[len(want)-1] {
+			t.Fatalf("seed %d: max/min %v/%v, want %v/%v",
+				seed, tk.Max(), tk.Min(), want[0], want[len(want)-1])
+		}
+	}
+}
+
+// TestTopKConcurrent exercises the mutex paths under the race detector.
+func TestTopKConcurrent(t *testing.T) {
+	tk := NewTopK[int](8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				tk.Offer(rng.Float64()*100, w*1000+i)
+				if i%50 == 0 {
+					tk.Snapshot()
+					tk.Max()
+					tk.Min()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tk.Len() != 8 {
+		t.Fatalf("len = %d, want 8", tk.Len())
+	}
+	snap := tk.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+}

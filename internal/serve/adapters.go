@@ -59,7 +59,7 @@ func SSSP(inc *sssp.Inc, src graph.NodeID) Serveable {
 func (s *ssspServeable) Algo() string        { return "sssp" }
 func (s *ssspServeable) Graph() *graph.Graph { return s.inc.Graph() }
 func (s *ssspServeable) Apply(b graph.Batch) ApplyResult {
-	return statsDelta(s.inc, func() int { return s.inc.Apply(b) })
+	return statsDelta(s.inc, s.inc.Graph(), len(b), func() int { return s.inc.Apply(b) })
 }
 func (s *ssspServeable) Snapshot() any {
 	return SSSPView{Src: s.src, Dist: append([]int64(nil), s.inc.Dist()...)}
@@ -96,7 +96,13 @@ type statser interface{ Stats() fixpoint.Stats }
 // the affected count with the counter delta attributable to that apply.
 // Maintainers that also expose parallel-drain counters and have workers
 // configured additionally report the per-apply ParStats delta.
-func statsDelta(m statser, apply func() int) ApplyResult {
+//
+// The per-apply work ledger rides the same Stats snapshot: the engine
+// fills |CHANGED|, |AFF|, ‖AFF‖, and rounds, and the adapter completes
+// the cost model with the two quantities only the serving layer knows —
+// |ΔG| (the net batch size) and the recompute estimate (nodes + edges of
+// the graph after the apply).
+func statsDelta(m statser, g *graph.Graph, delta int, apply func() int) ApplyResult {
 	before := m.Stats()
 	var parBefore fixpoint.ParStats
 	ps, hasPar := m.(parStatser)
@@ -109,7 +115,28 @@ func statsDelta(m statser, apply func() int) ApplyResult {
 		res.Par = ps.ParStats().Sub(parBefore)
 		res.HasPar = res.Par.Workers > 1
 	}
+	res.Ledger = res.Stats.Ledger
+	res.Ledger.Delta = int64(delta)
+	res.Ledger.RecomputeEst = int64(g.NumNodes() + g.NumEdges())
+	res.HasLedger = true
 	return res
+}
+
+// syntheticLedger builds the work ledger for the specialized classes
+// (DFS, LCC, BC) that repair without the fixpoint engine: the batch size
+// stands in for the touched set, the affected-area measure for both
+// |CHANGED| and |AFF| (their repair machinery reports only the combined
+// measure), and ‖AFF‖/rounds stay zero — Work degrades to touched+|AFF|,
+// which is still the quantity Theorem 3 bounds for these classes.
+func syntheticLedger(g *graph.Graph, delta, affected int) fixpoint.WorkLedger {
+	return fixpoint.WorkLedger{
+		Runs:         1,
+		Delta:        int64(delta),
+		Touched:      int64(delta),
+		Changed:      int64(affected),
+		Aff:          int64(affected),
+		RecomputeEst: int64(g.NumNodes() + g.NumEdges()),
+	}
 }
 
 // CCView is the published snapshot of a connected-components maintainer.
@@ -127,7 +154,7 @@ func CC(inc *cc.Inc) Serveable { return &ccServeable{inc: inc} }
 func (s *ccServeable) Algo() string        { return "cc" }
 func (s *ccServeable) Graph() *graph.Graph { return s.inc.Graph() }
 func (s *ccServeable) Apply(b graph.Batch) ApplyResult {
-	return statsDelta(s.inc, func() int { return s.inc.Apply(b) })
+	return statsDelta(s.inc, s.inc.Graph(), len(b), func() int { return s.inc.Apply(b) })
 }
 func (s *ccServeable) Snapshot() any {
 	return CCView{Labels: append([]int64(nil), s.inc.Labels()...)}
@@ -180,7 +207,7 @@ func (s *simServeable) Algo() string                { return "sim" }
 func (s *simServeable) Graph() *graph.Graph         { return s.inc.Graph() }
 func (s *simServeable) SetTracer(t fixpoint.Tracer) { s.inc.SetTracer(t) }
 func (s *simServeable) Apply(b graph.Batch) ApplyResult {
-	return statsDelta(s.inc, func() int { return s.inc.Apply(b) })
+	return statsDelta(s.inc, s.inc.Graph(), len(b), func() int { return s.inc.Apply(b) })
 }
 func (s *simServeable) Snapshot() any {
 	r := s.inc.Relation()
@@ -237,7 +264,9 @@ func DFS(inc *dfs.Inc) Serveable { return &dfsServeable{inc: inc} }
 func (s *dfsServeable) Algo() string        { return "dfs" }
 func (s *dfsServeable) Graph() *graph.Graph { return s.inc.Graph() }
 func (s *dfsServeable) Apply(b graph.Batch) ApplyResult {
-	return ApplyResult{Affected: s.inc.Apply(b)}
+	aff := s.inc.Apply(b)
+	return ApplyResult{Affected: aff,
+		Ledger: syntheticLedger(s.inc.Graph(), len(b), aff), HasLedger: true}
 }
 func (s *dfsServeable) Snapshot() any {
 	t := s.inc.Tree()
@@ -286,7 +315,9 @@ func LCC(inc *lcc.Inc) Serveable { return &lccServeable{inc: inc} }
 func (s *lccServeable) Algo() string        { return "lcc" }
 func (s *lccServeable) Graph() *graph.Graph { return s.inc.Graph() }
 func (s *lccServeable) Apply(b graph.Batch) ApplyResult {
-	return ApplyResult{Affected: s.inc.Apply(b)}
+	aff := s.inc.Apply(b)
+	return ApplyResult{Affected: aff,
+		Ledger: syntheticLedger(s.inc.Graph(), len(b), aff), HasLedger: true}
 }
 func (s *lccServeable) Snapshot() any {
 	r := s.inc.Result()
@@ -337,7 +368,9 @@ func BC(inc *bc.Inc) Serveable { return &bcServeable{inc: inc} }
 func (s *bcServeable) Algo() string        { return "bc" }
 func (s *bcServeable) Graph() *graph.Graph { return s.inc.Graph() }
 func (s *bcServeable) Apply(b graph.Batch) ApplyResult {
-	return ApplyResult{Affected: s.inc.Apply(b)}
+	aff := s.inc.Apply(b)
+	return ApplyResult{Affected: aff,
+		Ledger: syntheticLedger(s.inc.Graph(), len(b), aff), HasLedger: true}
 }
 func (s *bcServeable) Snapshot() any {
 	r := s.inc.Result()

@@ -92,6 +92,7 @@ func recoverAlgos(t *testing.T, base *graph.Graph, dir string) (map[string]Serve
 // and require the recovered answers to be deep-equal to a from-scratch
 // batch run over the full durable stream.
 func TestCrashRecoveryEquivalence(t *testing.T) {
+	leakCheck(t)
 	const nodes, chunks, chunkLen = 120, 40, 8
 	dir := t.TempDir()
 	base := gen.Synthetic(7, nodes, 5, true)
@@ -223,6 +224,7 @@ func TestDroppedFsyncStillRecoversPrefix(t *testing.T) {
 // must heal cc by batch recompute so the final answers match an oracle
 // that never saw the poisoned batch applied incrementally.
 func TestPanicIsolationHeals(t *testing.T) {
+	leakCheck(t)
 	const nodes = 60
 	base := gen.Synthetic(5, nodes, 4, false)
 	inj := faults.New()

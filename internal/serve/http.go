@@ -23,6 +23,8 @@ import (
 //	GET  /metrics.json                   registry snapshot with raw histogram buckets
 //	GET  /debug/applies[?algo=<name>]    recent apply trace events, JSON
 //	GET  /debug/trace                    flight recording, Chrome trace_event JSON
+//	GET  /debug/boundedness              per-host work-ledger audit reports, JSON
+//	GET  /debug/offenders[?algo=<name>]  worst-boundedness applies (top-K), JSON
 //	GET  /healthz                        liveness
 //
 // An update with no algo parameter is broadcast to every host: each
@@ -263,6 +265,37 @@ func (s *Service) Handler() http.Handler {
 			applies[h.Algo()] = recent
 		}
 		writeJSON(w, http.StatusOK, applies)
+	})
+	// The boundedness audit plane: per-host cumulative work ledgers with
+	// cost-model quotients, and the retained worst-boundedness applies.
+	mux.HandleFunc("GET /debug/boundedness", func(w http.ResponseWriter, r *http.Request) {
+		reports := make(map[string]BoundednessReport)
+		for _, h := range s.Hosts() {
+			reports[h.Algo()] = h.Boundedness()
+		}
+		writeJSON(w, http.StatusOK, reports)
+	})
+	mux.HandleFunc("GET /debug/offenders", func(w http.ResponseWriter, r *http.Request) {
+		hosts := s.Hosts()
+		if algo := r.URL.Query().Get("algo"); algo != "" {
+			h := s.Get(algo)
+			if h == nil {
+				httpError(w, http.StatusNotFound, fmt.Errorf("unknown algo %q", algo))
+				return
+			}
+			hosts = []*Host{h}
+		}
+		offenders := make(map[string][]Offender, len(hosts))
+		for _, h := range hosts {
+			// Empty rings still serialize as [], so clients need no
+			// null-guard per algo.
+			offs := h.Offenders()
+			if offs == nil {
+				offs = []Offender{}
+			}
+			offenders[h.Algo()] = offs
+		}
+		writeJSON(w, http.StatusOK, offenders)
 	})
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	s.mu.RLock()

@@ -91,6 +91,15 @@ type ApplyResult struct {
 	Par fixpoint.ParStats
 	// HasPar reports whether Par carries parallel-mode counters.
 	HasPar bool
+	// Ledger is the per-apply work ledger: |ΔG|, |CHANGED|, |AFF|, ‖AFF‖,
+	// rounds, and the recompute estimate Theorem 3's boundedness quotient
+	// is computed from. Engine-based adapters report the engine's ledger
+	// delta with Delta and RecomputeEst filled in; the specialized classes
+	// (DFS, LCC, BC) synthesize one from their affected-area measure.
+	// Meaningful only when HasLedger is set.
+	Ledger fixpoint.WorkLedger
+	// HasLedger reports whether Ledger carries work accounting.
+	HasLedger bool
 }
 
 // ApplyTrace is one entry of a host's bounded ring of recent applies —
@@ -122,11 +131,46 @@ type ApplyTrace struct {
 	// ParRounds is how many of this apply's propagation rounds were
 	// partitioned across workers (parallel-mode maintainers only).
 	ParRounds int64 `json:"par_rounds,omitempty"`
+	// Work, Changed, Aff, AffEdges, and Rounds are the apply's work-ledger
+	// account (ledger-reporting maintainers only): the incremental-cost
+	// measure Touched+|AFF|+‖AFF‖ and its components.
+	Work     int64 `json:"work,omitempty"`
+	Changed  int64 `json:"changed,omitempty"`
+	Aff      int64 `json:"aff,omitempty"`
+	AffEdges int64 `json:"aff_edges,omitempty"`
+	Rounds   int64 `json:"rounds,omitempty"`
+	// BoundedRatio is Work/|ΔG| for this apply — the per-batch relative-
+	// boundedness quotient; 0 when the net batch was empty.
+	BoundedRatio float64 `json:"bounded_ratio,omitempty"`
 	// UnixNanos timestamps the apply's completion.
 	UnixNanos int64 `json:"unix_nanos"`
 	// TraceID is the W3C trace ID of the first traced submission merged
 	// into this batch ("" when no submission carried one), correlating
 	// the apply with request logs and the flight recording.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// Offender is one retained entry of a host's top-K worst-boundedness
+// ring: an applied batch whose work-per-update ratio ranked among the
+// highest the host has seen. TraceID (when the triggering submission
+// carried one) links the offender to its spans in the flight recording
+// and to request logs — the forensic path from "the ratio spiked" to
+// "this request did it". Dumped by GET /debug/offenders.
+type Offender struct {
+	Algo string `json:"algo"`
+	// Epoch/Batch identify the apply (same coordinates as ApplyTrace).
+	Epoch uint64 `json:"epoch"`
+	Batch uint64 `json:"batch"`
+	// BoundedRatio is the apply's Work/|ΔG| — its ranking score.
+	BoundedRatio float64 `json:"bounded_ratio"`
+	// Work and Delta are the ratio's numerator and denominator.
+	Work  int64 `json:"work"`
+	Delta int64 `json:"delta"`
+	// ApplyNanos is the apply's wall latency.
+	ApplyNanos int64 `json:"apply_nanos"`
+	// UnixNanos timestamps the apply's completion.
+	UnixNanos int64 `json:"unix_nanos"`
+	// TraceID is the W3C trace ID of the batch, "" when untraced.
 	TraceID string `json:"trace_id,omitempty"`
 }
 
@@ -206,6 +250,11 @@ type Stats struct {
 	// (partitioned rounds, worker busy time, the work-imbalance gauges);
 	// zero-valued for sequential maintainers.
 	Par fixpoint.ParStats `json:"par,omitzero"`
+	// Audit aggregates the maintainer's per-apply work ledgers — the
+	// cumulative |ΔG|, |CHANGED|, |AFF|, ‖AFF‖ account behind
+	// GET /debug/boundedness. Zero-valued for maintainers that report no
+	// ledger.
+	Audit fixpoint.WorkLedger `json:"audit"`
 	// WorkerUtilization is Par's cumulative pool utilization,
 	// BusyNanos/(Workers×WallNanos), in [0,1]; 0 while sequential.
 	WorkerUtilization float64 `json:"worker_utilization,omitempty"`
@@ -230,6 +279,9 @@ type Options struct {
 	// Trace is the capacity of the recent-applies ring buffer behind
 	// GET /debug/applies. Default 128.
 	Trace int
+	// Offenders is the capacity of the top-K worst-boundedness ring behind
+	// GET /debug/offenders. Default 32.
+	Offenders int
 	// Recorder receives span/flight-recorder events: one root span per
 	// applied batch (queue wait → coalesce → apply → publish) and, for
 	// maintainers exposing the fixpoint tracer hook, h-phase/resume spans
@@ -276,6 +328,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Trace <= 0 {
 		o.Trace = 128
+	}
+	if o.Offenders <= 0 {
+		o.Offenders = 32
 	}
 	return o
 }
@@ -342,6 +397,16 @@ type hostMetrics struct {
 	seqRounds   *obs.Counter
 	utilization *obs.Gauge
 	imbalance   *obs.Gauge
+
+	workTotal      *obs.Counter
+	changedTotal   *obs.Counter
+	boundedRatio   *obs.Histogram
+	recomputeRatio *obs.Histogram
+	roundsHist     *obs.Histogram
+	boundedLast    *obs.Gauge
+	offenderCount  *obs.Gauge
+	offenderWorst  *obs.Gauge
+	offenderMin    *obs.Gauge
 }
 
 func newHostMetrics(r *obs.Registry, algo string) hostMetrics {
@@ -370,6 +435,15 @@ func newHostMetrics(r *obs.Registry, algo string) hostMetrics {
 		seqRounds:       r.Counter("incgraph_par_seq_rounds_total", "Rounds run inline because the frontier was below the partition threshold.", l),
 		utilization:     r.Gauge("incgraph_worker_utilization", "Last apply's worker-pool utilization, busy/(workers×wall), in [0,1].", l),
 		imbalance:       r.Gauge("incgraph_worker_imbalance", "Last partitioned round's work imbalance, busiest×workers/total (1 = even).", l),
+		workTotal:       r.Counter("incgraph_work_total", "Ledger work units (touched+|AFF|+‖AFF‖) charged by applies.", l),
+		changedTotal:    r.Counter("incgraph_changed_total", "Variables whose value changed across applies (|CHANGED|).", l),
+		boundedRatio:    r.Histogram("incgraph_bounded_ratio", "Per-apply work/|ΔG| — the relative-boundedness quotient distribution.", l),
+		recomputeRatio:  r.Histogram("incgraph_recompute_ratio", "Per-apply work/recompute-estimate — fraction of a from-scratch run.", l),
+		roundsHist:      r.Histogram("incgraph_rounds_to_fixpoint", "Per-apply propagation rounds until the resumed drain reached fixpoint.", l),
+		boundedLast:     r.Gauge("incgraph_bounded_ratio_last", "Most recent apply's work/|ΔG| boundedness quotient.", l),
+		offenderCount:   r.Gauge("incgraph_offender_count", "Entries retained in the top-K worst-boundedness ring.", l),
+		offenderWorst:   r.Gauge("incgraph_offender_worst_ratio", "Highest boundedness quotient ever retained by the offender ring.", l),
+		offenderMin:     r.Gauge("incgraph_offender_min_ratio", "Lowest retained offender quotient — the ring's admission threshold.", l),
 	}
 }
 
@@ -400,9 +474,10 @@ type Host struct {
 	statMu sync.Mutex
 	stats  Stats
 
-	start  time.Time
-	met    hostMetrics
-	traces *obs.Ring[ApplyTrace]
+	start     time.Time
+	met       hostMetrics
+	traces    *obs.Ring[ApplyTrace]
+	offenders *obs.TopK[Offender]
 
 	// rec/track/engTracer are the span-tracing handles; all nil/zero when
 	// no recorder is configured. engTracer is driven only from the apply
@@ -453,6 +528,7 @@ func NewHost(m Serveable, opt Options) *Host {
 	h.start = time.Now()
 	h.met = newHostMetrics(h.opt.Registry, h.algo)
 	h.traces = obs.NewRing[ApplyTrace](h.opt.Trace)
+	h.offenders = obs.NewTopK[Offender](h.opt.Offenders)
 	if h.opt.Workers > 1 {
 		if ws, ok := m.(workersSetter); ok {
 			ws.SetWorkers(h.opt.Workers)
@@ -492,6 +568,61 @@ func (h *Host) Registry() *obs.Registry { return h.opt.Registry }
 
 // RecentApplies returns the retained apply trace events, oldest first.
 func (h *Host) RecentApplies() []ApplyTrace { return h.traces.Snapshot() }
+
+// Offenders returns the retained worst-boundedness applies, worst first.
+func (h *Host) Offenders() []Offender { return h.offenders.Snapshot() }
+
+// BoundednessReport is the per-host payload of GET /debug/boundedness:
+// the cumulative audit ledger, its derived cost-model quotients, and
+// quantiles of the per-apply boundedness-ratio distribution. Quantile
+// fields are zero until the first audited apply — never NaN, so the
+// report always JSON-encodes.
+type BoundednessReport struct {
+	Algo string `json:"algo"`
+	// Ledger is the cumulative audit ledger (Stats.Audit).
+	Ledger fixpoint.WorkLedger `json:"ledger"`
+	// Work is the cumulative incremental-cost measure touched+|AFF|+‖AFF‖.
+	Work int64 `json:"work"`
+	// BoundedRatio and RecomputeRatio are the cumulative Work/Δ and
+	// Work/recompute-estimate quotients.
+	BoundedRatio   float64 `json:"bounded_ratio"`
+	RecomputeRatio float64 `json:"recompute_ratio"`
+	// RatioP50/P95/Max are quantiles of the per-apply bounded-ratio
+	// histogram (≤6.25% relative error; Max is exact).
+	RatioP50 float64 `json:"ratio_p50"`
+	RatioP95 float64 `json:"ratio_p95"`
+	RatioMax float64 `json:"ratio_max"`
+	// RoundsP95 is the p95 of per-apply rounds-to-fixpoint.
+	RoundsP95 float64 `json:"rounds_p95"`
+	// OffenderCount and WorstRatio summarize the top-K offender ring.
+	OffenderCount int     `json:"offender_count"`
+	WorstRatio    float64 `json:"worst_ratio"`
+}
+
+// Boundedness assembles the host's boundedness-audit report.
+func (h *Host) Boundedness() BoundednessReport {
+	h.statMu.Lock()
+	audit := h.stats.Audit
+	h.statMu.Unlock()
+	rep := BoundednessReport{
+		Algo:           h.algo,
+		Ledger:         audit,
+		Work:           audit.Work(),
+		BoundedRatio:   audit.BoundedRatio(),
+		RecomputeRatio: audit.RecomputeRatio(),
+		OffenderCount:  h.offenders.Len(),
+		WorstRatio:     h.offenders.Max(),
+	}
+	if hist := h.met.boundedRatio; hist.Count() > 0 {
+		rep.RatioP50 = hist.Quantile(0.5)
+		rep.RatioP95 = hist.Quantile(0.95)
+		rep.RatioMax = hist.Quantile(1)
+	}
+	if hist := h.met.roundsHist; hist.Count() > 0 {
+		rep.RoundsP95 = hist.Quantile(0.95)
+	}
+	return rep
+}
 
 // Algo returns the hosted query class name.
 func (h *Host) Algo() string { return h.algo }
@@ -792,6 +923,9 @@ func (h *Host) apply(raw graph.Batch, oldest time.Time, tid trace.TraceID) {
 		h.stats.Par = h.stats.Par.Add(res.Par)
 		h.stats.WorkerUtilization = h.stats.Par.Utilization()
 	}
+	if res.HasLedger {
+		h.stats.Audit = h.stats.Audit.Add(res.Ledger)
+	}
 	epoch, batches := h.stats.Epoch, h.stats.BatchesApplied
 	h.statMu.Unlock()
 
@@ -860,6 +994,39 @@ func (h *Host) apply(raw graph.Batch, oldest time.Time, tid trace.TraceID) {
 			m.imbalance.Set(res.Par.LastImbalance)
 		}
 		tr.ParRounds = res.Par.ParRounds
+	}
+	if res.HasLedger {
+		led := res.Ledger
+		m.workTotal.Add(float64(led.Work()))
+		m.changedTotal.Add(float64(led.Changed))
+		m.roundsHist.Observe(float64(led.Rounds))
+		if led.RecomputeEst > 0 {
+			m.recomputeRatio.Observe(led.RecomputeRatio())
+		}
+		tr.Work = led.Work()
+		tr.Changed = led.Changed
+		tr.Aff = led.Aff
+		tr.AffEdges = led.AffEdges
+		tr.Rounds = led.Rounds
+		if led.Delta > 0 {
+			// The audited boundedness quotient: one histogram sample per
+			// apply, the last value on a gauge, and a top-K offer so the
+			// worst applies survive with their trace IDs attached.
+			ratio := led.BoundedRatio()
+			m.boundedRatio.Observe(ratio)
+			m.boundedLast.Set(ratio)
+			tr.BoundedRatio = ratio
+			off := Offender{
+				Algo: h.algo, Epoch: epoch, Batch: batches,
+				BoundedRatio: ratio, Work: led.Work(), Delta: led.Delta,
+				ApplyNanos: lat, UnixNanos: tr.UnixNanos, TraceID: tr.TraceID,
+			}
+			if h.offenders.Offer(ratio, off) {
+				m.offenderCount.Set(float64(h.offenders.Len()))
+				m.offenderWorst.Set(h.offenders.Max())
+				m.offenderMin.Set(h.offenders.Min())
+			}
+		}
 	}
 	h.traces.Push(tr)
 	if h.opt.OnApply != nil {

@@ -51,6 +51,7 @@ func makeStream(seed int64, nodes, total int) graph.Batch {
 // replaying each observed prefix and recomputing with batch Dijkstra.
 // Run under -race this also proves readers never touch maintainer state.
 func TestLoadConcurrentReaders(t *testing.T) {
+	leakCheck(t)
 	const (
 		nodes   = 200
 		total   = 1500

@@ -11,6 +11,7 @@ import (
 
 	"incgraph/internal/graph"
 	"incgraph/internal/obs"
+	"incgraph/internal/serve"
 	"incgraph/internal/trace"
 )
 
@@ -226,6 +227,19 @@ func (c *Client) MetricsSnapshot(ctx context.Context) ([]obs.FamilySnapshot, err
 	}
 	err = c.do(req, &fams)
 	return fams, err
+}
+
+// Offenders fetches the member's /debug/offenders dump: per-algo top-K
+// worst-boundedness applies, the per-process source of the router's
+// cluster offender merge.
+func (c *Client) Offenders(ctx context.Context) (map[string][]serve.Offender, error) {
+	var offs map[string][]serve.Offender
+	req, err := c.newRequest(ctx, http.MethodGet, c.Base+"/debug/offenders", nil)
+	if err != nil {
+		return nil, err
+	}
+	err = c.do(req, &offs)
+	return offs, err
 }
 
 // TraceDump fetches the member's raw /debug/trace document for merging

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"incgraph/internal/obs"
+	"incgraph/internal/serve"
 	"incgraph/internal/trace"
 )
 
@@ -135,6 +136,8 @@ func (rt *Router) handleClusterTrace(w http.ResponseWriter, r *http.Request) {
 //	incrouter_cluster_epoch_skew              max-min published view epoch
 //	incrouter_cluster_replica_lag_seconds     worst follower seconds-behind
 //	incrouter_cluster_members                 reachable/total member gauges
+//	incrouter_cluster_bounded_ratio           bucket-merged boundedness quotients
+//	incrouter_cluster_bounded_ratio_worst     worst shard's last-apply quotient
 func (rt *Router) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
 	fed := obs.NewFederation()
 	fed.Ingest(rt.reg.Snapshot(), obs.L("role", "router"))
@@ -164,6 +167,16 @@ func (rt *Router) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
 	fed.Add("incrouter_cluster_replica_lag_seconds",
 		"Worst-case follower seconds-behind across replicas.",
 		"gauge", maxValue(fed.Values("incgraph_replica_lag_seconds")))
+	// The boundedness audit rollup: every shard's per-apply quotient
+	// distribution merged bucket-exact, plus the worst shard's most recent
+	// quotient — the single number a cluster dashboard alerts on when one
+	// shard's incremental work stops being a function of |ΔG| and |AFF|.
+	fed.AddHistogram("incrouter_cluster_bounded_ratio",
+		"Per-apply work/|ΔG| quotients merged across every shard's histogram buckets.",
+		fed.MergedHistogram("incgraph_bounded_ratio"))
+	fed.Add("incrouter_cluster_bounded_ratio_worst",
+		"Worst shard's most recent boundedness quotient (max over last-apply gauges).",
+		"gauge", maxValue(fed.Values("incgraph_bounded_ratio_last")))
 	fed.Add("incrouter_cluster_members",
 		"Scrapeable cluster members by reachability.",
 		"gauge", float64(reachable), obs.L("state", "reachable"))
@@ -205,6 +218,74 @@ func maxValue(series []obs.SeriesSnapshot) float64 {
 		}
 	}
 	return max
+}
+
+// ClusterOffender is one row of the merged /cluster/offenders answer: a
+// member's retained worst-boundedness apply, stamped with where it ran so
+// the trace ID can be chased to the right process's flight recording.
+type ClusterOffender struct {
+	serve.Offender
+	// Shard is the slot whose member reported the offender.
+	Shard int `json:"shard"`
+	// Member is the reporting process ("shard-0", "replica-0").
+	Member string `json:"member"`
+}
+
+// clusterOffenderCap bounds /cluster/offenders responses regardless of
+// member count and ring sizes; ?n= can only lower it.
+const clusterOffenderCap = 256
+
+// handleClusterOffenders serves GET /cluster/offenders: every reachable
+// member's /debug/offenders dump merged into one cluster-wide top-K by
+// boundedness quotient, worst first. ?algo= keeps one query class, ?n=
+// caps the merged size (default 32). Unreachable members are skipped and
+// reported in the scrape counts — a partial answer from the live cluster
+// beats a 502.
+func (rt *Router) handleClusterOffenders(w http.ResponseWriter, r *http.Request) {
+	algoFilter := r.URL.Query().Get("algo")
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest,
+				errors.New("shard: n must be a positive integer"))
+			return
+		}
+		n = v
+	}
+	if n > clusterOffenderCap {
+		n = clusterOffenderCap
+	}
+
+	top := obs.NewTopK[ClusterOffender](n)
+	ms := rt.members()
+	reachable := 0
+	for _, m := range ms {
+		ctx, cancel := scrapeCtx(r)
+		offs, err := rt.clientFor(m.Addr).Offenders(ctx)
+		cancel()
+		if err != nil {
+			continue
+		}
+		reachable++
+		for algo, list := range offs {
+			if algoFilter != "" && algo != algoFilter {
+				continue
+			}
+			for _, o := range list {
+				top.Offer(o.BoundedRatio, ClusterOffender{Offender: o, Shard: m.Shard, Member: m.Name})
+			}
+		}
+	}
+	offenders := top.Snapshot()
+	if offenders == nil {
+		offenders = []ClusterOffender{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"offenders":         offenders,
+		"members_reachable": reachable,
+		"members_known":     len(ms),
+	})
 }
 
 // memberHealth is one member's row in the /cluster/health answer.

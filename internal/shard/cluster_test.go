@@ -179,6 +179,7 @@ func metricLine(t *testing.T, body, name string, want ...string) (float64, bool)
 // all present and numeric. Run under -race this also exercises the
 // cross-process scrape fan-in against live members.
 func TestClusterObservabilityE2E(t *testing.T) {
+	leakCheck(t)
 	rng := rand.New(rand.NewSource(42))
 	g := gen.PowerLaw(rng, 120, 4, true)
 	src := graph.NodeID(0)
@@ -275,6 +276,9 @@ func TestClusterObservabilityE2E(t *testing.T) {
 		{"incrouter_cluster_replica_lag_seconds", nil},
 		{"incrouter_cluster_shed_total", nil},
 		{"incrouter_cluster_apply_latency_seconds_count", nil},
+		{"incrouter_cluster_bounded_ratio_count", nil},
+		{"incrouter_cluster_bounded_ratio", []string{`quantile="0.95"`}},
+		{"incrouter_cluster_bounded_ratio_worst", nil},
 	}
 	for _, c := range checks {
 		v, ok := metricLine(t, body, c.name, c.want...)
@@ -291,6 +295,57 @@ func TestClusterObservabilityE2E(t *testing.T) {
 	}
 	if v, _ := metricLine(t, body, "incrouter_cluster_members", `state="reachable"`); v != 3 {
 		t.Errorf("reachable members = %v, want 3", v)
+	}
+	if v, _ := metricLine(t, body, "incrouter_cluster_bounded_ratio_count"); v == 0 {
+		t.Errorf("cluster bounded-ratio rollup counted no samples")
+	}
+	if v, _ := metricLine(t, body, "incrouter_cluster_bounded_ratio_worst"); v <= 0 {
+		t.Errorf("cluster worst bounded ratio = %v, want > 0", v)
+	}
+
+	// Merged offender ring: both shards contributed, sorted worst-first,
+	// every quotient finite, and the algo filter narrows the set.
+	ow := get(t, h, "/cluster/offenders")
+	if ow.Code != http.StatusOK {
+		t.Fatalf("cluster offenders: %d", ow.Code)
+	}
+	var offRes struct {
+		Offenders        []ClusterOffender `json:"offenders"`
+		MembersReachable int               `json:"members_reachable"`
+	}
+	if err := json.Unmarshal(ow.Body.Bytes(), &offRes); err != nil {
+		t.Fatalf("cluster offenders not JSON: %v (%s)", err, ow.Body.String())
+	}
+	// Both primaries answer the offender scrape; the replica's minimal
+	// surface has no /debug/offenders and is skipped, not fatal.
+	if offRes.MembersReachable != 2 || len(offRes.Offenders) == 0 {
+		t.Fatalf("offender merge: reachable=%d entries=%d", offRes.MembersReachable, len(offRes.Offenders))
+	}
+	shardsSeen := map[int]bool{}
+	for i, o := range offRes.Offenders {
+		if math.IsNaN(o.BoundedRatio) || math.IsInf(o.BoundedRatio, 0) {
+			t.Fatalf("offender %d has non-finite ratio: %+v", i, o)
+		}
+		if i > 0 && offRes.Offenders[i-1].BoundedRatio < o.BoundedRatio {
+			t.Fatalf("offenders not sorted worst-first at %d", i)
+		}
+		shardsSeen[o.Shard] = true
+	}
+	if !shardsSeen[0] || !shardsSeen[1] {
+		t.Errorf("offender merge missing a shard: %v", shardsSeen)
+	}
+	ow = get(t, h, "/cluster/offenders?algo=sssp&n=3")
+	offRes.Offenders = nil
+	if err := json.Unmarshal(ow.Body.Bytes(), &offRes); err != nil {
+		t.Fatal(err)
+	}
+	if len(offRes.Offenders) == 0 || len(offRes.Offenders) > 3 {
+		t.Fatalf("filtered offenders: %d entries", len(offRes.Offenders))
+	}
+	for _, o := range offRes.Offenders {
+		if o.Algo != "sssp" {
+			t.Fatalf("algo filter leaked %q", o.Algo)
+		}
 	}
 
 	// Topology health: every member row present, floor covered.

@@ -35,6 +35,7 @@ func TestSeededSSSPMatchesDijkstra(t *testing.T) {
 // exchange over fragment-local answers must equal the full-graph
 // recompute for both SSSP and CC.
 func TestExchangeDifferential(t *testing.T) {
+	leakCheck(t)
 	for _, directed := range []bool{true, false} {
 		for shards := 1; shards <= 4; shards++ {
 			t.Run(fmt.Sprintf("directed=%v/shards=%d", directed, shards), func(t *testing.T) {

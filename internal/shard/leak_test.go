@@ -1,0 +1,55 @@
+package shard
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakCheck records the current goroutine count and, when the test
+// finishes, fails it if the count has not fallen back to that
+// baseline. Call it first thing in an e2e test, before any shard
+// daemons, replicas, or routers are started: t.Cleanup runs LIFO, so
+// the check executes after every later-registered teardown has shut
+// its follower loops, supervisors, and HTTP servers.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Idle keep-alive connections from the shared shard client park
+		// readLoop goroutines until closed; drop them before counting.
+		defaultShardClient.CloseIdleConnections()
+		http.DefaultClient.CloseIdleConnections()
+		waitForGoroutines(t, baseline)
+	})
+}
+
+// waitForGoroutines polls until the goroutine count falls back to the
+// recorded baseline (small slack for runtime helpers), failing with a
+// full stack dump when it does not — the leak signal.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var now int
+	for time.Now().Before(deadline) {
+		if now = runtime.NumGoroutine(); now <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutine leak: %d at baseline, %d after teardown\n%s",
+		baseline, now, trimStack(buf))
+}
+
+// trimStack bounds a full-stack dump to something a CI log can show.
+func trimStack(b []byte) string {
+	const max = 8192
+	if len(b) <= max {
+		return string(b)
+	}
+	return fmt.Sprintf("%s\n... (%d bytes elided)", b[:max], len(b)-max)
+}

@@ -228,6 +228,7 @@ type routedBatch struct {
 //	GET  /cluster/metrics        federated member metrics + cluster rollups
 //	GET  /cluster/health         topology liveness/generation/epoch summary
 //	GET  /cluster/events         recent supervisor topology events (?n= caps)
+//	GET  /cluster/offenders      merged worst-boundedness applies (?algo=, ?n=)
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -244,6 +245,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/metrics", rt.handleClusterMetrics)
 	mux.HandleFunc("GET /cluster/health", rt.handleClusterHealth)
 	mux.HandleFunc("GET /cluster/events", rt.handleClusterEvents)
+	mux.HandleFunc("GET /cluster/offenders", rt.handleClusterOffenders)
 	mux.HandleFunc("GET /epochs", rt.handleEpochs)
 	mux.HandleFunc("POST /update", rt.handleUpdate)
 	mux.HandleFunc("GET /query/{algo}", rt.handleQuery)

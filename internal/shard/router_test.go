@@ -93,6 +93,7 @@ func queryRouter(t *testing.T, h http.Handler, algo, minEpochs string) (*httptes
 // compared against a full-graph recompute. Run under -race this also
 // exercises the router's concurrent fan-out and view gathering.
 func TestRouterDifferential(t *testing.T) {
+	leakCheck(t)
 	for _, directed := range []bool{true, false} {
 		for _, shards := range []int{1, 3} {
 			t.Run(fmt.Sprintf("directed=%v/shards=%d", directed, shards), func(t *testing.T) {

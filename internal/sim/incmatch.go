@@ -16,6 +16,11 @@ type simState struct {
 	// weakly deducible IncSim; IncMatch and Sim_fp leave it nil.
 	ts    []int64
 	clock int64
+
+	// onFalse, when non-nil, observes every cascade retraction of pair
+	// (v, u). IncSim installs it to charge retractions to its work
+	// ledger; Sim_fp and IncMatch leave it nil (no accounting cost).
+	onFalse func(v, u int32)
 }
 
 // tsTrue is the timestamp of pairs that are currently true (x[v,u].t = ∞
@@ -96,6 +101,9 @@ func (s *simState) cascade(p [][2]int32) {
 			if s.ts != nil {
 				s.clock++
 				s.ts[int(v)*s.nq+int(u)] = s.clock
+			}
+			if s.onFalse != nil {
+				s.onFalse(v, u)
 			}
 			for _, ge := range s.g.In(graph.NodeID(v)) {
 				i := int(ge.To)*s.nq + int(u)

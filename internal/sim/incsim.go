@@ -28,6 +28,10 @@ type Inc struct {
 	*simState
 	hq      *pq.Heap
 	inH0    []int64
+	affMark []int64 // epoch marks: AFF membership (work ledger)
+	chMark  []int64 // epoch marks: written this repair (work ledger)
+	chOld   []bool  // repair-start match bits of written pairs (work ledger)
+	chList  []int32 // written pairs, swept at end of Repair
 	epoch   int64
 	stats   fixpoint.Stats
 	tracer  fixpoint.Tracer
@@ -38,9 +42,56 @@ type Inc struct {
 // and returns the algorithm.
 func NewInc(g, q *graph.Graph) *Inc {
 	s := newSimState(g, q, true)
-	i := &Inc{simState: s, inH0: make([]int64, len(s.r))}
+	i := &Inc{simState: s, inH0: make([]int64, len(s.r)),
+		affMark: make([]int64, len(s.r)), chMark: make([]int64, len(s.r)),
+		chOld: make([]bool, len(s.r)), chList: make([]int32, 0, len(s.r))}
 	i.hq = pq.New(len(s.r), func(a, b int32) bool { return i.ts[a] < i.ts[b] })
+	// Record cascade retractions in the ledger (a retracted pair was true
+	// before the write); installed after the initial batch cascade above,
+	// so only incremental repairs count.
+	s.onFalse = func(v, u int32) { i.ledgerWrite(int(v)*i.nq+int(u), true) }
 	return i
+}
+
+// ledgerAff records pair x's first entry into this repair's affected
+// area: |AFF| grows by one and ‖AFF‖ by the pair's dependency degree —
+// the dependent pairs over in-neighbors of its data node and pattern
+// node, |In(v)|·|In(u)|.
+func (i *Inc) ledgerAff(x int) {
+	if i.affMark[x] == i.epoch {
+		return
+	}
+	i.affMark[x] = i.epoch
+	i.stats.Ledger.Aff++
+	v := graph.NodeID(x / i.nq)
+	u := graph.NodeID(x % i.nq)
+	i.stats.Ledger.AffEdges += int64(len(i.g.In(v))) * int64(len(i.q.In(u)))
+}
+
+// ledgerWrite records a write of pair x's match bit, capturing the
+// pre-write value on the first write of this repair. The settle sweep at
+// the end of Repair counts CHANGED as {x : r_final ≠ r_start}, so a pair
+// raised by h and retracted back by the resumed cascade — a transient —
+// is not charged.
+func (i *Inc) ledgerWrite(x int, old bool) {
+	if i.chMark[x] == i.epoch {
+		return
+	}
+	i.chMark[x] = i.epoch
+	i.chOld[x] = old
+	i.chList = append(i.chList, int32(x))
+}
+
+// ledgerSettle sweeps the repair's written pairs into CHANGED (and AFF)
+// where the final match bit differs from the repair-start one.
+func (i *Inc) ledgerSettle() {
+	for _, x := range i.chList {
+		if i.r[x] != i.chOld[x] {
+			i.stats.Ledger.Changed++
+			i.ledgerAff(int(x))
+		}
+	}
+	i.chList = i.chList[:0]
 }
 
 // Graph returns the maintained data graph.
@@ -104,6 +155,16 @@ func (i *Inc) Stage(b graph.Batch) {
 	for len(i.inH0) < len(i.r) {
 		i.inH0 = append(i.inH0, 0)
 	}
+	for len(i.affMark) < len(i.r) {
+		i.affMark = append(i.affMark, 0)
+		i.chMark = append(i.chMark, 0)
+		i.chOld = append(i.chOld, false)
+	}
+	if cap(i.chList) < len(i.r) {
+		cl := make([]int32, len(i.chList), len(i.r))
+		copy(cl, i.chList)
+		i.chList = cl
+	}
 	i.hq.Grow(len(i.r))
 }
 
@@ -115,6 +176,7 @@ func (i *Inc) Repair() int {
 	var infeasible []bool
 	vpos := make(map[graph.NodeID]int)
 	i.epoch++
+	i.chList = i.chList[:0]
 	// Insertions can raise pairs (more support, the infeasible direction
 	// for Sim, where false ≺ true); deletions only retract and are left
 	// to the resumed cascade.
@@ -131,6 +193,7 @@ func (i *Inc) Repair() int {
 		for u := 0; u < i.nq; u++ {
 			x := int32(int(v)*i.nq + u)
 			i.inH0[x] = i.epoch
+			i.ledgerAff(int(x))
 			touched = append(touched, x)
 			infeasible = append(infeasible, mayRaise)
 		}
@@ -163,6 +226,9 @@ func (i *Inc) Repair() int {
 		return 0
 	}
 	st0 := i.stats
+	i.stats.Ledger.Runs++
+	i.stats.Ledger.Touched += int64(len(touched))
+	i.stats.Ledger.RecomputeEst = int64(len(i.r))
 	if i.tracer != nil {
 		i.tracer.BeginRun(len(touched), 0)
 	}
@@ -173,6 +239,7 @@ func (i *Inc) Repair() int {
 		i.tracer.ScopeDone(i.stats.HPops-st0.HPops, i.stats.HResets-st0.HResets, int64(len(h0)))
 	}
 	i.resume(h0)
+	i.ledgerSettle()
 	i.stats.ScopeSize = int64(len(h0))
 	i.stats.HSeconds += mid.Sub(start).Seconds()
 	i.stats.ResumeSeconds += time.Since(mid).Seconds()
@@ -215,11 +282,13 @@ func (i *Inc) scopeFunction(touched []int32, infeasible []bool) []int32 {
 			continue
 		}
 		// Potentially infeasible: raise the pair back to true.
+		i.ledgerWrite(int(x), false)
 		i.r[x] = true
 		i.ts[x] = tsTrue
 		i.stats.HResets++
 		if i.inH0[x] != i.epoch {
 			i.inH0[x] = i.epoch
+			i.ledgerAff(int(x))
 			h0 = append(h0, x)
 		}
 		for _, ge := range i.g.In(v) {

@@ -38,11 +38,15 @@ type Inc struct {
 	dist []int64
 	wq   *pq.Heap // step-function queue, keyed by current distance
 
-	hq     *pq.Heap // h's queue, keyed by old distance
-	hkey   []int64
-	oldVal []int64 // pre-revision distances of this round's revised nodes
-	mark   []int64 // epoch marks: revised this round
-	epoch  int64
+	hq      *pq.Heap // h's queue, keyed by old distance
+	hkey    []int64
+	oldVal  []int64 // pre-revision distances of this round's revised nodes
+	mark    []int64 // epoch marks: revised this round
+	affMark []int64 // epoch marks: AFF membership (work ledger)
+	chMark  []int64 // epoch marks: written this repair (work ledger)
+	chOld   []int64 // repair-start distances of written nodes (work ledger)
+	chList  []graph.NodeID // written nodes, swept at end of Repair
+	epoch   int64
 
 	pending graph.Batch
 	stats   fixpoint.Stats
@@ -69,6 +73,10 @@ func NewInc(g *graph.Graph, src graph.NodeID) *Inc {
 	i.hkey = make([]int64, n)
 	i.oldVal = make([]int64, n)
 	i.mark = make([]int64, n)
+	i.affMark = make([]int64, n)
+	i.chMark = make([]int64, n)
+	i.chOld = make([]int64, n)
+	i.chList = make([]graph.NodeID, 0, n)
 	return i
 }
 
@@ -116,9 +124,60 @@ func (i *Inc) Stage(b graph.Batch) {
 		i.hkey = append(i.hkey, 0)
 		i.oldVal = append(i.oldVal, 0)
 		i.mark = append(i.mark, 0)
+		i.affMark = append(i.affMark, 0)
+		i.chMark = append(i.chMark, 0)
+		i.chOld = append(i.chOld, 0)
+	}
+	if cap(i.chList) < len(i.dist) {
+		cl := make([]graph.NodeID, len(i.chList), len(i.dist))
+		copy(cl, i.chList)
+		i.chList = cl
 	}
 	i.wq.Grow(len(i.dist))
 	i.hq.Grow(len(i.dist))
+}
+
+// ledgerAff records v's first entry into this repair's affected area:
+// |AFF| grows by one and ‖AFF‖ by v's incident edges. Allocation-free:
+// membership is an epoch mark, degrees are adjacency-slice lengths.
+func (i *Inc) ledgerAff(v graph.NodeID) {
+	if i.affMark[v] == i.epoch {
+		return
+	}
+	i.affMark[v] = i.epoch
+	i.stats.Ledger.Aff++
+	deg := int64(len(i.g.Out(v)))
+	if i.g.Directed() {
+		deg += int64(len(i.g.In(v)))
+	}
+	i.stats.Ledger.AffEdges += deg
+}
+
+// ledgerWrite records a distance write at v, capturing the pre-write value
+// on the first write of this repair — v's repair-start distance. The
+// settle sweep at the end of Repair compares it against the fixpoint:
+// CHANGED is {v : dist_final ≠ dist_start}, which — unlike "installed at
+// least once" — does not count transient moves that revert, and is
+// therefore identical between the sequential and parallel resume paths.
+func (i *Inc) ledgerWrite(v graph.NodeID, old int64) {
+	if i.chMark[v] == i.epoch {
+		return
+	}
+	i.chMark[v] = i.epoch
+	i.chOld[v] = old
+	i.chList = append(i.chList, v)
+}
+
+// ledgerSettle sweeps the repair's written nodes into CHANGED (and AFF)
+// where the final distance differs from the repair-start one.
+func (i *Inc) ledgerSettle() {
+	for _, v := range i.chList {
+		if i.dist[v] != i.chOld[v] {
+			i.stats.Ledger.Changed++
+			i.ledgerAff(v)
+		}
+	}
+	i.chList = i.chList[:0]
 }
 
 // oldDist returns v's distance as of the start of this round.
@@ -137,7 +196,11 @@ func (i *Inc) Repair() int {
 		return 0
 	}
 	i.epoch++
+	i.chList = i.chList[:0]
 	st0 := i.stats
+	i.stats.Ledger.Runs++
+	i.stats.Ledger.Touched += int64(len(applied))
+	i.stats.Ledger.RecomputeEst = int64(i.g.NumNodes())
 	if i.tracer != nil {
 		i.tracer.BeginRun(len(applied), 0)
 	}
@@ -174,6 +237,7 @@ func (i *Inc) Repair() int {
 		i.stats.HPops++
 		h0++
 		v := graph.NodeID(x)
+		i.ledgerAff(v)
 		dv := i.oldDist(v)
 		newv := i.feasibleValue(v, dv)
 		if newv > i.dist[v] {
@@ -181,6 +245,7 @@ func (i *Inc) Repair() int {
 				i.mark[v] = i.epoch
 				i.oldVal[v] = i.dist[v]
 			}
+			i.ledgerWrite(v, i.dist[v])
 			i.dist[v] = newv
 			i.stats.HResets++
 			revised = append(revised, v)
@@ -203,11 +268,16 @@ func (i *Inc) Repair() int {
 	// actual values, relax the inserted edges against the (now feasible)
 	// status, then run Dijkstra's loop (lines 4-10 of Fig. 1).
 	for _, v := range revised {
-		i.dist[v] = i.best(v)
+		if nb := i.best(v); nb != i.dist[v] {
+			i.ledgerWrite(v, i.dist[v])
+			i.dist[v] = nb
+		}
 		i.wq.AddOrAdjust(int32(v))
 	}
 	relax := func(u, v graph.NodeID, w int64) {
+		i.ledgerAff(u) // push-seed analog: the tail re-propagates
 		if i.dist[u] < Infinity && i.dist[u]+w < i.dist[v] {
+			i.ledgerWrite(v, i.dist[v])
 			i.dist[v] = i.dist[u] + w
 			i.wq.AddOrAdjust(int32(v))
 		}
@@ -216,6 +286,7 @@ func (i *Inc) Repair() int {
 		if up.Kind != graph.InsertEdge {
 			continue
 		}
+		i.stats.Ledger.Seeds++
 		relax(up.From, up.To, up.W)
 		if !i.g.Directed() {
 			relax(up.To, up.From, up.W)
@@ -224,26 +295,34 @@ func (i *Inc) Repair() int {
 	if i.workers > 1 {
 		i.drainParallel()
 	} else {
-		for {
-			x, ok := i.wq.Pop()
-			if !ok {
-				break
-			}
-			i.stats.Pops++
-			v := graph.NodeID(x)
-			dv := i.dist[v]
-			if dv >= Infinity {
-				continue
-			}
-			for _, e := range i.g.Out(v) {
-				i.stats.Updates++
-				if alt := dv + e.W; alt < i.dist[e.To] {
-					i.dist[e.To] = alt
-					i.wq.AddOrAdjust(int32(e.To))
+		// The outer loop counts BFS-level rounds into the ledger (queue
+		// size at round start bounds the inner pops) without changing
+		// Dijkstra's pop order.
+		for i.wq.Len() > 0 {
+			i.stats.Ledger.Rounds++
+			for n := i.wq.Len(); n > 0; n-- {
+				x, ok := i.wq.Pop()
+				if !ok {
+					break
+				}
+				i.stats.Pops++
+				v := graph.NodeID(x)
+				dv := i.dist[v]
+				if dv >= Infinity {
+					continue
+				}
+				for _, e := range i.g.Out(v) {
+					i.stats.Updates++
+					if alt := dv + e.W; alt < i.dist[e.To] {
+						i.ledgerWrite(e.To, i.dist[e.To])
+						i.dist[e.To] = alt
+						i.wq.AddOrAdjust(int32(e.To))
+					}
 				}
 			}
 		}
 	}
+	i.ledgerSettle()
 	i.stats.ScopeSize = int64(h0)
 	i.stats.HSeconds += mid.Sub(start).Seconds()
 	i.stats.ResumeSeconds += time.Since(mid).Seconds()

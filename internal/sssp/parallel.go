@@ -115,6 +115,7 @@ func (i *Inc) drainParallel() {
 	for i.wq.Len() > 0 {
 		frontier := i.wq.Len()
 		round++
+		i.stats.Ledger.Rounds++
 		if frontier < ssspParThreshold {
 			i.par.SeqRounds++
 			for n := 0; n < frontier; n++ {
@@ -131,6 +132,7 @@ func (i *Inc) drainParallel() {
 				for _, e := range i.g.Out(v) {
 					i.stats.Updates++
 					if alt := dv + e.W; alt < i.dist[e.To] {
+						i.ledgerWrite(e.To, i.dist[e.To])
 						i.dist[e.To] = alt
 						i.wq.AddOrAdjust(int32(e.To))
 					}
@@ -185,6 +187,7 @@ func (i *Inc) parRound(round int) {
 		i.stats.Updates += pw.scanned
 		for _, c := range pw.cands {
 			if c.d < i.dist[c.v] {
+				i.ledgerWrite(c.v, i.dist[c.v])
 				i.dist[c.v] = c.d
 				i.wq.AddOrAdjust(int32(c.v))
 				installs++
