@@ -78,7 +78,9 @@
 // ships the primary's WAL segments into its own -data-dir (required)
 // and replays every record through the recovery path, staying one poll
 // interval behind. It serves only /healthz, /shard/info,
-// /replica/status, and the observability surface (/metrics,
+// /replica/status, stale degraded reads on GET /query/{algo} (the
+// router's fallback while a primary's breaker is open), and the
+// observability surface (/metrics,
 // /metrics.json with live replication-lag gauges, /debug/trace with
 // per-record replay spans) until POST /replica/promote, which seals the follower
 // loop, hosts the replayed maintainers at the shipped stream position,
@@ -566,7 +568,11 @@ func runReplica(logger *slog.Logger, c *cliFlags, base *incgraph.Graph, pat *inc
 	logger.Info("following", "primary", c.replicaOf, "dir", c.dataDir,
 		"replay_from", rec.ReplayFrom, "checkpoint_epoch", rec.CheckpointEpoch)
 	var promoted atomic.Bool
-	var handler atomic.Value // http.Handler: replica mux, then the full API
+	// handler swaps from the replica mux to the full API on promotion.
+	// The stored values have different concrete handler types, so they
+	// ride in a one-field box to keep atomic.Value's type consistent.
+	type handlerBox struct{ h http.Handler }
+	var handler atomic.Value
 
 	// pstate carries what promotion creates across to the shutdown path.
 	var pstate struct {
@@ -618,7 +624,7 @@ func runReplica(logger *slog.Logger, c *cliFlags, base *incgraph.Graph, pat *inc
 		if c.accessLog {
 			full = incgraph.AccessLog(logger, full)
 		}
-		handler.Store(full)
+		handler.Store(handlerBox{full})
 		logger.Info("promoted", "epochs", fmt.Sprint(epochs))
 		return epochs, nil
 	}
@@ -643,6 +649,19 @@ func runReplica(logger *slog.Logger, c *cliFlags, base *incgraph.Graph, pat *inc
 		}
 		writeJSON(w, http.StatusOK, info)
 	})
+	// Stale reads: pre-promotion, the replica answers /query/{algo} from
+	// its replayed maintainers, every view stamped degraded. This is the
+	// surface the router's fetchView falls back to when a primary's
+	// breaker is open — a lagging answer with an honest epoch instead of
+	// a missing shard.
+	mux.HandleFunc("GET /query/{algo}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := follower.View(r.PathValue("algo"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown algo " + r.PathValue("algo")})
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
 	mux.HandleFunc("POST /replica/promote", func(w http.ResponseWriter, r *http.Request) {
 		if !promoted.CompareAndSwap(false, true) {
 			writeJSON(w, http.StatusConflict, map[string]string{"error": "already promoted"})
@@ -660,10 +679,10 @@ func runReplica(logger *slog.Logger, c *cliFlags, base *incgraph.Graph, pat *inc
 		writeJSON(w, http.StatusServiceUnavailable,
 			map[string]string{"error": "warm replica: not serving until POST /replica/promote"})
 	})
-	handler.Store(http.Handler(mux))
+	handler.Store(handlerBox{mux})
 
 	srv := &http.Server{Addr: c.listen, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		handler.Load().(http.Handler).ServeHTTP(w, r)
+		handler.Load().(handlerBox).h.ServeHTTP(w, r)
 	})}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -11,12 +11,13 @@ import (
 // the naming conventions — every package that registers series which
 // end up in the router's federated /cluster/metrics exposition.
 var metricAudited = []string{
-	".",                 // root facade
-	"internal/fixpoint", // engine metrics
-	"internal/serve",    // serving + durability metrics
-	"internal/wal",      // (registers none today; keeps it that way honest)
-	"internal/shard",    // router, follower, and federation rollups
-	"internal/obs",      // the registry itself
+	".",                   // root facade
+	"internal/fixpoint",   // engine metrics
+	"internal/serve",      // serving + durability metrics
+	"internal/wal",        // (registers none today; keeps it that way honest)
+	"internal/shard",      // router, follower, and federation rollups
+	"internal/resilience", // (registers none; the shard binding does)
+	"internal/obs",        // the registry itself
 }
 
 func TestAuditedPackagesMetricNames(t *testing.T) {

@@ -1,0 +1,109 @@
+// Package resilience is the cluster fault-tolerance substrate: deadline
+// budgets that cross process boundaries, retries with exponential
+// backoff and jitter, and per-target circuit breakers.
+//
+// The sharded deployment (internal/shard) survives process death by
+// supervision and replica promotion, but a *network* between router and
+// shards introduces failures no restart fixes: slow links, partitions,
+// connection resets, overloaded members shedding load. This package
+// holds the small, dependency-free mechanisms the router and clients
+// thread through every hop:
+//
+//   - Deadline budgets. A caller's patience is a context deadline; the
+//     remaining budget travels to the next hop as the relative
+//     X-Incgraph-Deadline header (milliseconds left, so clock skew
+//     between processes cannot corrupt it). Each hop spends from the
+//     budget — retries, backoff sleeps, and fan-out sub-requests are
+//     all bounded by it, so a retry storm can never outlive the caller.
+//
+//   - Retries. Do runs an operation up to a fixed attempt count with
+//     exponential backoff and full jitter (decorrelating concurrent
+//     retriers), honoring server-directed Retry-After hints and giving
+//     up early when the remaining deadline budget cannot cover the next
+//     sleep.
+//
+//   - Circuit breakers. A Breaker per target turns "this shard failed N
+//     times in a row" into "stop sending it traffic for a while":
+//     closed → open on consecutive failures, open → half-open after a
+//     cool-down, half-open → closed on probe successes (or back to open
+//     on a probe failure). Callers read RemainingOpen to derive honest
+//     Retry-After values for the load they shed.
+//
+// Everything here is deterministic under a seed and uses no background
+// goroutines, so chaos tests replay identically run after run.
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader carries the remaining deadline budget between
+// processes as an integer count of milliseconds. It is relative — the
+// sender computes "time left until my context deadline" — so the value
+// survives clock skew between sender and receiver, unlike an absolute
+// timestamp.
+const DeadlineHeader = "X-Incgraph-Deadline"
+
+// PropagateDeadline stamps req with the remaining budget of its own
+// context as the DeadlineHeader. A context with no deadline sends no
+// header (the receiver applies its own policy); an already-expired
+// deadline sends the minimum budget of 1ms, letting the receiver fail
+// fast instead of guessing.
+func PropagateDeadline(req *http.Request) {
+	dl, ok := req.Context().Deadline()
+	if !ok {
+		return
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+}
+
+// ParseBudget decodes a DeadlineHeader value into a duration. Absent,
+// malformed, and non-positive values report ok == false — the receiver
+// falls back to its own policy rather than trusting garbage.
+func ParseBudget(h string) (d time.Duration, ok bool) {
+	if h == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
+// Middleware applies an incoming request's DeadlineHeader budget to its
+// context, so every handler (and every downstream call it makes) is
+// bounded by what the caller said it would wait. The header can only
+// tighten the deadline: a context that already expires sooner is left
+// alone.
+func Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if budget, ok := ParseBudget(r.Header.Get(DeadlineHeader)); ok {
+			if cur, has := r.Context().Deadline(); !has || time.Until(cur) > budget {
+				ctx, cancel := context.WithTimeout(r.Context(), budget)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// EnsureBudget returns ctx unchanged when it already carries a deadline,
+// and otherwise derives one bounded by def. It is the router's "every
+// request has a budget" guarantee: callers that set a deadline (or sent
+// a DeadlineHeader through Middleware) keep theirs, everyone else gets
+// the default. The returned cancel must be called either way.
+func EnsureBudget(ctx context.Context, def time.Duration) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, def)
+}

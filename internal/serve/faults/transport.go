@@ -1,0 +1,269 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is the error surfaced by Transport for an injected
+// connection reset (and for every request to a blackholed host). It
+// stands in for the ECONNRESET a real peer would produce, without
+// touching the network.
+var ErrInjectedReset = errors.New("faults: injected connection reset")
+
+// ErrInjectedTruncation is the error an injected-truncation response
+// body returns after yielding its prefix, standing in for a peer that
+// died mid-response.
+var ErrInjectedTruncation = errors.New("faults: injected body truncation")
+
+// TransportOptions configures a Transport. All probabilities are in
+// [0, 1] and are evaluated independently per request in a fixed order
+// (shed, reset, delay, truncate), so a given seed yields the same fault
+// schedule run after run.
+type TransportOptions struct {
+	// Seed drives the fault schedule. The same seed and request sequence
+	// produce the same faults.
+	Seed int64
+	// Next is the underlying RoundTripper for requests that survive
+	// injection. Default http.DefaultTransport.
+	Next http.RoundTripper
+	// DelayProb is the chance of delaying a request by a uniform draw
+	// from (0, MaxDelay] before sending it.
+	DelayProb float64
+	// MaxDelay bounds injected delays. Default 50ms when DelayProb > 0.
+	MaxDelay time.Duration
+	// ResetProb is the chance of failing a request with
+	// ErrInjectedReset before it reaches the network.
+	ResetProb float64
+	// TruncateProb is the chance of truncating a successful response
+	// body halfway, ending it with ErrInjectedTruncation.
+	TruncateProb float64
+	// ShedProb is the chance of synthesizing a 503 response (with a
+	// Retry-After header) without touching the network, imitating an
+	// overloaded peer shedding load.
+	ShedProb float64
+	// RetryAfter is the Retry-After value stamped on injected 503s.
+	// Default "1".
+	RetryAfter string
+	// Match, when non-nil, limits injection to requests it accepts;
+	// everything else passes straight through to Next.
+	Match func(*http.Request) bool
+}
+
+// TransportStats counts injected faults, for asserting that a chaos run
+// actually exercised each family.
+type TransportStats struct {
+	Requests    int64 `json:"requests"`
+	Delays      int64 `json:"delays"`
+	Resets      int64 `json:"resets"`
+	Truncations int64 `json:"truncations"`
+	Sheds       int64 `json:"sheds"`
+}
+
+// Total returns the number of injected faults across all families.
+func (s TransportStats) Total() int64 {
+	return s.Delays + s.Resets + s.Truncations + s.Sheds
+}
+
+// Transport is a seeded, deterministic http.RoundTripper that injects
+// network faults — delays, connection resets, truncated response
+// bodies, spurious 503 sheds, and per-host blackholes — in front of a
+// real transport. It is the network-layer sibling of Injector: plain
+// dependency injection, safe for concurrent use, no build tags.
+type Transport struct {
+	mu         sync.Mutex
+	opt        TransportOptions
+	rng        *rand.Rand
+	enabled    bool
+	blackholes map[string]bool
+	stats      TransportStats
+}
+
+// NewTransport returns an enabled Transport drawing its fault schedule
+// from opt.Seed.
+func NewTransport(opt TransportOptions) *Transport {
+	if opt.Next == nil {
+		opt.Next = http.DefaultTransport
+	}
+	if opt.MaxDelay <= 0 {
+		opt.MaxDelay = 50 * time.Millisecond
+	}
+	if opt.RetryAfter == "" {
+		opt.RetryAfter = "1"
+	}
+	return &Transport{
+		opt:        opt,
+		rng:        rand.New(rand.NewSource(opt.Seed)),
+		enabled:    true,
+		blackholes: make(map[string]bool),
+	}
+}
+
+// SetEnabled turns fault injection on or off. Disabled, the Transport
+// is a transparent passthrough (blackholes included), which is how a
+// chaos run ends: faults off, cluster drains, answers checked.
+func (t *Transport) SetEnabled(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enabled = on
+}
+
+// Blackhole makes every request to hostport (the URL's Host, e.g.
+// "127.0.0.1:7101") fail with ErrInjectedReset while on, simulating a
+// partition between this client and that one peer. Other hosts are
+// unaffected.
+func (t *Transport) Blackhole(hostport string, on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if on {
+		t.blackholes[hostport] = true
+	} else {
+		delete(t.blackholes, hostport)
+	}
+}
+
+// Stats returns the injection counts so far.
+func (t *Transport) Stats() TransportStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// plan is the set of faults drawn for one request.
+type plan struct {
+	blackholed bool
+	shed       bool
+	reset      bool
+	delay      time.Duration
+	truncate   bool
+}
+
+// draw rolls the dice for one request under the mutex so concurrent
+// requests consume the seeded stream atomically.
+func (t *Transport) draw(req *http.Request) (plan, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.enabled {
+		return plan{}, false
+	}
+	if t.opt.Match != nil && !t.opt.Match(req) {
+		return plan{}, false
+	}
+	t.stats.Requests++
+	var p plan
+	if t.blackholes[req.URL.Host] {
+		p.blackholed = true
+		t.stats.Resets++
+		return p, true
+	}
+	if t.opt.ShedProb > 0 && t.rng.Float64() < t.opt.ShedProb {
+		p.shed = true
+		t.stats.Sheds++
+		return p, true
+	}
+	if t.opt.ResetProb > 0 && t.rng.Float64() < t.opt.ResetProb {
+		p.reset = true
+		t.stats.Resets++
+		return p, true
+	}
+	if t.opt.DelayProb > 0 && t.rng.Float64() < t.opt.DelayProb {
+		p.delay = time.Duration(t.rng.Int63n(int64(t.opt.MaxDelay))) + 1
+		t.stats.Delays++
+	}
+	if t.opt.TruncateProb > 0 && t.rng.Float64() < t.opt.TruncateProb {
+		p.truncate = true
+		// Counted only if the response is actually truncatable below.
+	}
+	return p, true
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	p, inject := t.draw(req)
+	if !inject {
+		return t.opt.Next.RoundTrip(req)
+	}
+	if p.blackholed || p.reset {
+		// Drain and close the body like a real transport would on a
+		// write error, so callers can reuse buffers.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faults: %s %s: %w", req.Method, req.URL, ErrInjectedReset)
+	}
+	if p.shed {
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		hdr := make(http.Header)
+		hdr.Set("Retry-After", t.opt.RetryAfter)
+		hdr.Set("Content-Type", "application/json")
+		body := `{"error":"injected shed"}`
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        hdr,
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	if p.delay > 0 {
+		timer := time.NewTimer(p.delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			if req.Body != nil {
+				io.Copy(io.Discard, req.Body)
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	resp, err := t.opt.Next.RoundTrip(req)
+	if err != nil || !p.truncate {
+		return resp, err
+	}
+	full, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || len(full) < 2 {
+		// Nothing meaningful to truncate; deliver what we got.
+		resp.Body = io.NopCloser(bytes.NewReader(full))
+		return resp, nil
+	}
+	t.mu.Lock()
+	t.stats.Truncations++
+	t.mu.Unlock()
+	resp.Body = &truncatedBody{r: bytes.NewReader(full[:len(full)/2])}
+	return resp, nil
+}
+
+// truncatedBody yields a prefix of a response body and then fails with
+// ErrInjectedTruncation, like a connection dropped mid-transfer.
+type truncatedBody struct {
+	r *bytes.Reader
+}
+
+// Read implements io.Reader.
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err == io.EOF {
+		return n, ErrInjectedTruncation
+	}
+	return n, err
+}
+
+// Close implements io.Closer.
+func (b *truncatedBody) Close() error { return nil }

@@ -1,0 +1,222 @@
+package faults
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func transportGet(t *testing.T, tr *Transport, url string) (*http.Response, error) {
+	t.Helper()
+	client := &http.Client{Transport: tr}
+	return client.Get(url)
+}
+
+func TestTransportPassthroughWhenDisabled(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(TransportOptions{Seed: 1, ResetProb: 1})
+	tr.SetEnabled(false)
+	resp, err := transportGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("disabled transport errored: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := tr.Stats().Total(); got != 0 {
+		t.Fatalf("injected %d faults while disabled, want 0", got)
+	}
+}
+
+func TestTransportInjectedReset(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	tr := NewTransport(TransportOptions{Seed: 1, ResetProb: 1})
+	_, err := transportGet(t, tr, srv.URL)
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want ErrInjectedReset", err)
+	}
+	if got := tr.Stats().Resets; got != 1 {
+		t.Fatalf("resets = %d, want 1", got)
+	}
+}
+
+func TestTransportInjectedShed(t *testing.T) {
+	called := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		called = true
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(TransportOptions{Seed: 1, ShedProb: 1, RetryAfter: "3"})
+	resp, err := transportGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("shed should be a response, not an error: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want %q", got, "3")
+	}
+	if called {
+		t.Fatal("injected shed still reached the server")
+	}
+	if got := tr.Stats().Sheds; got != 1 {
+		t.Fatalf("sheds = %d, want 1", got)
+	}
+}
+
+func TestTransportTruncatedBody(t *testing.T) {
+	payload := `{"algo":"sssp","data":"` + strings.Repeat("x", 4096) + `"}`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(TransportOptions{Seed: 1, TruncateProb: 1})
+	resp, err := transportGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("truncation should fail on body read, not on round-trip: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, ErrInjectedTruncation) {
+		t.Fatalf("body read err = %v, want ErrInjectedTruncation", err)
+	}
+	if len(body) == 0 || len(body) >= len(payload) {
+		t.Fatalf("got %d body bytes, want a proper prefix of %d", len(body), len(payload))
+	}
+	var v struct{}
+	if jerr := json.Unmarshal(body, &v); jerr == nil {
+		t.Fatal("truncated body still parsed as complete JSON")
+	}
+	if got := tr.Stats().Truncations; got != 1 {
+		t.Fatalf("truncations = %d, want 1", got)
+	}
+}
+
+func TestTransportDelay(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	tr := NewTransport(TransportOptions{Seed: 1, DelayProb: 1, MaxDelay: 30 * time.Millisecond})
+	start := time.Now()
+	resp, err := transportGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("delayed request errored: %v", err)
+	}
+	resp.Body.Close()
+	if tr.Stats().Delays != 1 {
+		t.Fatalf("delays = %d, want 1", tr.Stats().Delays)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatalf("delay wildly exceeded MaxDelay: %v", time.Since(start))
+	}
+}
+
+func TestTransportBlackhole(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	tr := NewTransport(TransportOptions{Seed: 1})
+	tr.Blackhole(host, true)
+	if _, err := transportGet(t, tr, srv.URL); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("blackholed request err = %v, want ErrInjectedReset", err)
+	}
+	tr.Blackhole(host, false)
+	resp, err := transportGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("un-blackholed request errored: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestTransportMatchScopesInjection(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	tr := NewTransport(TransportOptions{
+		Seed:      1,
+		ResetProb: 1,
+		Match:     func(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/update") },
+	})
+	resp, err := transportGet(t, tr, srv.URL+"/query/sssp")
+	if err != nil {
+		t.Fatalf("unmatched request was injected: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := transportGet(t, tr, srv.URL+"/update"); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("matched request err = %v, want ErrInjectedReset", err)
+	}
+}
+
+// TestTransportDeterministicSchedule replays the same request sequence
+// through two transports with the same seed and expects identical fault
+// decisions — the property the chaos-differential campaign leans on.
+func TestTransportDeterministicSchedule(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("y", 256))
+	}))
+	defer srv.Close()
+
+	run := func(seed int64) []string {
+		tr := NewTransport(TransportOptions{
+			Seed: seed, ShedProb: 0.2, ResetProb: 0.2, DelayProb: 0.2,
+			TruncateProb: 0.2, MaxDelay: time.Millisecond,
+		})
+		var outcomes []string
+		for i := 0; i < 40; i++ {
+			resp, err := transportGet(t, tr, srv.URL)
+			switch {
+			case errors.Is(err, ErrInjectedReset):
+				outcomes = append(outcomes, "reset")
+			case err != nil:
+				outcomes = append(outcomes, "err")
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				resp.Body.Close()
+				outcomes = append(outcomes, "shed")
+			default:
+				_, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if errors.Is(rerr, ErrInjectedTruncation) {
+					outcomes = append(outcomes, "trunc")
+				} else {
+					outcomes = append(outcomes, "ok")
+				}
+			}
+		}
+		return outcomes
+	}
+
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %q vs %q\n%v\n%v", i, a[i], b[i], a, b)
+		}
+	}
+	c := run(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 40-request schedules; injection likely ignores the seed")
+	}
+}

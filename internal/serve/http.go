@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 
 	"incgraph/internal/graph"
 	"incgraph/internal/obs"
+	"incgraph/internal/resilience"
 	"incgraph/internal/trace"
 )
 
@@ -303,7 +305,10 @@ func (s *Service) Handler() http.Handler {
 		mux.Handle(pattern, h)
 	}
 	s.mu.RUnlock()
-	return mux
+	// Routed through a resilient router, requests arrive with an
+	// X-Incgraph-Deadline budget; the middleware turns it into a context
+	// deadline so shard-local work is bounded by the caller's patience.
+	return resilience.Middleware(mux)
 }
 
 func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -340,10 +345,12 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// "rejected but will replay after a restart". Advisory (the queue can
 	// fill between probe and submit, in which case the submit briefly
 	// blocks), but it keeps ingest overload from stalling every caller.
+	// The Retry-After is an estimate of how long the worst target needs
+	// to drain what it has already queued, not a constant.
 	for _, h := range targets {
 		if h.Saturated() {
 			s.shed.Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterEstimate(targets))
 			httpError(w, http.StatusServiceUnavailable,
 				fmt.Errorf("algo %s: submission queue saturated", h.Algo()))
 			return
@@ -373,6 +380,41 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	res.Epochs = viewEpochs(targets)
 	writeJSON(w, http.StatusOK, res)
+}
+
+// retryAfterEstimate derives a shed response's Retry-After from live
+// serving stats: for each target, the queued updates divided by the
+// observed mean batch size give the batches left to drain, times the
+// mean apply latency. The worst target's estimate wins, clamped to
+// [1s, 30s] — honest enough to spread retries by actual backlog, padded
+// up so clients never busy-loop on a zero estimate.
+func retryAfterEstimate(targets []*Host) string {
+	var worst float64
+	for _, h := range targets {
+		st := h.Stats()
+		if st.QueueDepth == 0 || st.MeanApplyNanos <= 0 {
+			continue
+		}
+		meanBatch := 1.0
+		if st.BatchesApplied > 0 {
+			if mb := float64(st.UpdatesApplied) / float64(st.BatchesApplied); mb > 1 {
+				meanBatch = mb
+			}
+		}
+		batchesLeft := float64(st.QueueDepth) / meanBatch
+		drain := batchesLeft * float64(st.MeanApplyNanos) / float64(time.Second)
+		if drain > worst {
+			worst = drain
+		}
+	}
+	secs := int(math.Ceil(worst))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
 }
 
 // viewEpochs snapshots each target's published view epoch — taken after

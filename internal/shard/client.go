@@ -6,11 +6,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"incgraph/internal/graph"
 	"incgraph/internal/obs"
+	"incgraph/internal/resilience"
 	"incgraph/internal/serve"
 	"incgraph/internal/trace"
 )
@@ -22,15 +25,34 @@ import (
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://127.0.0.1:9001".
 	Base string
-	// HTTP is the underlying client; nil means a default with a 30s
-	// timeout (fan-out callers bound requests with contexts instead).
+	// HTTP is the underlying client; nil means a default whose transport
+	// bounds each connection phase (dial, TLS handshake, waiting for
+	// response headers) while leaving total request latency to the
+	// caller's context deadline.
 	HTTP *http.Client
 }
 
-// defaultShardClient bounds any request a caller forgot to bound: long
-// enough for a cold shard-local recompute, short enough to not wedge
-// the router forever.
-var defaultShardClient = &http.Client{Timeout: 30 * time.Second}
+// defaultShardTransport bounds the phases of a request that can hang on
+// a dead or partitioned peer — connecting, TLS, and waiting for the
+// first response byte — without imposing a whole-request ceiling. A
+// flat client timeout conflates "slow peer" with "large response" and
+// fights the deadline-budget plane: total latency belongs to the
+// caller's context (propagated across hops via X-Incgraph-Deadline),
+// not to the transport.
+var defaultShardTransport = &http.Transport{
+	DialContext: (&net.Dialer{
+		Timeout:   2 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	TLSHandshakeTimeout:   2 * time.Second,
+	ResponseHeaderTimeout: 15 * time.Second,
+	IdleConnTimeout:       90 * time.Second,
+	MaxIdleConnsPerHost:   16,
+}
+
+// defaultShardClient carries the phase-bounded transport and no
+// whole-request timeout; callers that want one set a context deadline.
+var defaultShardClient = &http.Client{Transport: defaultShardTransport}
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
@@ -46,6 +68,9 @@ type StatusError struct {
 	Code int
 	// Body is the (truncated) response body, usually the error text.
 	Body string
+	// RetryAfter is the server's Retry-After hint, when the response
+	// carried a parseable one (503 sheds do); zero otherwise.
+	RetryAfter time.Duration
 }
 
 // Error renders the status and body.
@@ -57,9 +82,35 @@ func IsShed(err error) bool {
 	return ok && se.Code == http.StatusServiceUnavailable
 }
 
+// RetryAfterHint extracts a server-directed minimum retry delay from a
+// shard error: the Retry-After a shed (or any hinted response) carried.
+// It is the RetryOptions.RetryAfter plumbing for resilience.Do.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	se, ok := err.(*StatusError)
+	if !ok || se.RetryAfter <= 0 {
+		return 0, false
+	}
+	return se.RetryAfter, true
+}
+
+// newStatusError builds a StatusError from a drained non-2xx response,
+// capturing the Retry-After hint (delta-seconds form) when present.
+func newStatusError(resp *http.Response) *StatusError {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	se := &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
+}
+
 // newRequest builds a request carrying the W3C traceparent header when
 // ctx holds a trace ID, so a router's fan-out requests join the same
-// trace on every shard they touch.
+// trace on every shard they touch, and the X-Incgraph-Deadline budget
+// header when ctx has a deadline, so the shard spends from the same
+// patience the router was given.
 func (c *Client) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
@@ -68,6 +119,7 @@ func (c *Client) newRequest(ctx context.Context, method, url string, body io.Rea
 	if tid, ok := trace.IDFromContext(ctx); ok {
 		req.Header.Set("traceparent", trace.FormatTraceparent(tid, trace.NewSpanID()))
 	}
+	resilience.PropagateDeadline(req)
 	return req, nil
 }
 
@@ -78,8 +130,7 @@ func (c *Client) do(req *http.Request, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+		return newStatusError(resp)
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -260,8 +311,7 @@ func (c *Client) TraceDump(ctx context.Context, n int) ([]byte, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+		return nil, newStatusError(resp)
 	}
 	return io.ReadAll(resp.Body)
 }

@@ -110,7 +110,12 @@ func (rt *Router) handleClusterTrace(w http.ResponseWriter, r *http.Request) {
 	dumps := []trace.ProcessDump{{Process: "router", Data: self.Bytes()}}
 	for _, m := range rt.members() {
 		ctx, cancel := scrapeCtx(r)
-		data, err := rt.clientFor(m.Addr).TraceDump(ctx, n)
+		var data []byte
+		err := rt.retryScrape(ctx, func(ctx context.Context) error {
+			var e error
+			data, e = rt.clientFor(m.Addr).TraceDump(ctx, n)
+			return e
+		})
 		cancel()
 		if err != nil {
 			continue
@@ -145,7 +150,12 @@ func (rt *Router) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
 	reachable := 0
 	for _, m := range ms {
 		ctx, cancel := scrapeCtx(r)
-		fams, err := rt.clientFor(m.Addr).MetricsSnapshot(ctx)
+		var fams []obs.FamilySnapshot
+		err := rt.retryScrape(ctx, func(ctx context.Context) error {
+			var e error
+			fams, e = rt.clientFor(m.Addr).MetricsSnapshot(ctx)
+			return e
+		})
 		cancel()
 		if err != nil {
 			continue
@@ -262,7 +272,12 @@ func (rt *Router) handleClusterOffenders(w http.ResponseWriter, r *http.Request)
 	reachable := 0
 	for _, m := range ms {
 		ctx, cancel := scrapeCtx(r)
-		offs, err := rt.clientFor(m.Addr).Offenders(ctx)
+		var offs map[string][]serve.Offender
+		err := rt.retryScrape(ctx, func(ctx context.Context) error {
+			var e error
+			offs, e = rt.clientFor(m.Addr).Offenders(ctx)
+			return e
+		})
 		cancel()
 		if err != nil {
 			continue

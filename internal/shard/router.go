@@ -3,12 +3,16 @@ package shard
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"incgraph/internal/graph"
 	"incgraph/internal/obs"
+	"incgraph/internal/resilience"
 	"incgraph/internal/trace"
 )
 
@@ -40,6 +44,20 @@ type Router struct {
 	exchangeRnds  *obs.Counter
 	queriesServed *obs.Counter
 	reg           *obs.Registry
+
+	// Resilience plane (see resilient.go): per-slot breakers keyed to
+	// table generations, shared jittered backoff, and the counters the
+	// chaos campaign asserts on.
+	res             ResilienceOptions
+	backoff         *resilience.Backoff
+	guardMu         sync.Mutex
+	guards          []*slotGuard
+	retriesTotal    *obs.Counter
+	breakerOpens    *obs.Counter
+	deadlineHits    *obs.Counter
+	degradedQueries *obs.Counter
+	staleReads      *obs.Counter
+	hedgedReads     *obs.Counter
 
 	// rec is the router's own flight recorder ("router" process in the
 	// merged cluster timeline); track is its request track.
@@ -74,6 +92,9 @@ type RouterOptions struct {
 	// share it with the Supervisor so its actions are visible. Nil means
 	// a private (empty unless the router writes) ring.
 	Events *obs.Ring[TopologyEvent]
+	// Resilience tunes deadline budgets, retries, circuit breakers, and
+	// hedged reads; the zero value takes all defaults.
+	Resilience ResilienceOptions
 }
 
 // NewRouter validates the options and builds a router.
@@ -116,6 +137,7 @@ func NewRouter(opt RouterOptions) (*Router, error) {
 	if rt.events == nil {
 		rt.events = obs.NewRing[TopologyEvent](256)
 	}
+	rt.initResilience(opt.Resilience, reg)
 	rt.updatesRouted = reg.Counter("incrouter_updates_routed_total", "Unit updates fanned out to shards.")
 	rt.updatesShed = reg.Counter("incrouter_updates_shed_total", "Update requests refused with 503.")
 	rt.updatesSplit = reg.Counter("incrouter_batches_split_total", "Update batches split and routed.")
@@ -199,13 +221,36 @@ type QueryResult struct {
 	// reflected (e.g. lost in a promotion) and the client should treat
 	// the answer as a stale prefix.
 	Consistent bool `json:"consistent"`
-	// Degraded is set when any contributing shard view was degraded.
+	// Degraded is set when the answer is a partial: a contributing
+	// shard's view was degraded or stale, a shard was missing entirely,
+	// or the boundary exchange lost a shard mid-flight. The epoch
+	// vector (a missing shard's entry stays 0) exposes exactly how
+	// stale the partial is.
 	Degraded bool `json:"degraded,omitempty"`
+	// Shards details where each shard's contribution came from when the
+	// answer is degraded: "ok", "hedged", "stale-replica", or "missing".
+	Shards []QueryShard `json:"shards,omitempty"`
 	// ExchangeRounds counts boundary-exchange evaluation rounds.
 	ExchangeRounds int `json:"exchange_rounds"`
 	// Data is the assembled global answer (SSSP: {src,dist}; CC:
 	// {labels}).
 	Data any `json:"data"`
+}
+
+// QueryShard reports where one shard's contribution to a cross-shard
+// query came from.
+type QueryShard struct {
+	// Shard is the slot.
+	Shard int `json:"shard"`
+	// Status is "ok" (primary), "hedged" (replica won a latency race),
+	// "stale-replica" (primary unavailable, replica's stale surface
+	// answered), or "missing" (no member answered; the shard's entries
+	// are absent from the result and its epoch reads 0).
+	Status string `json:"status"`
+	// Epoch is the stream position this shard's contribution reflects.
+	Epoch uint64 `json:"epoch"`
+	// Error carries the failure detail when Status is "missing".
+	Error string `json:"error,omitempty"`
 }
 
 // routedBatch pairs a shard id with its non-empty sub-batch.
@@ -249,7 +294,10 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /epochs", rt.handleEpochs)
 	mux.HandleFunc("POST /update", rt.handleUpdate)
 	mux.HandleFunc("GET /query/{algo}", rt.handleQuery)
-	return mux
+	// Clients announce their remaining patience in X-Incgraph-Deadline;
+	// the middleware turns it into a context deadline every downstream
+	// shard call (and retry sleep) spends from.
+	return resilience.Middleware(mux)
 }
 
 func (rt *Router) handleEpochs(w http.ResponseWriter, r *http.Request) {
@@ -284,6 +332,8 @@ func (rt *Router) requestTrace(w http.ResponseWriter, r *http.Request) (context.
 
 func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	ctx, tid := rt.requestTrace(w, r)
+	ctx, cancel := resilience.EnsureBudget(ctx, rt.res.DefaultTimeout)
+	defer cancel()
 	root := rt.rec.Begin("update", "router", rt.track)
 	root.SetTrace(tid)
 	defer root.End()
@@ -312,13 +362,23 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	root.Arg("shards", int64(len(routed)))
 	// Health gate before any shard sees a byte: refusing the whole
 	// batch up front beats discovering a dead owner after siblings have
-	// already logged their slices.
+	// already logged their slices. The breaker gate extends the same
+	// logic to owners that are nominally healthy but failing fast, and
+	// the shed's Retry-After is derived from the breaker's remaining
+	// cool-down rather than a hardcoded guess.
 	for _, rb := range routed {
 		if addr, healthy := rt.table.Active(rb.shard); !healthy || addr == "" {
 			rt.updatesShed.Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", rt.shedRetryAfter(rb.shard))
 			writeError(w, http.StatusServiceUnavailable,
 				fmt.Errorf("shard %d is not healthy; batch not routed", rb.shard))
+			return
+		}
+		if !rt.guard(rb.shard).Allow() {
+			rt.updatesShed.Inc()
+			w.Header().Set("Retry-After", rt.shedRetryAfter(rb.shard))
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("shard %d circuit breaker is open; batch not routed", rb.shard))
 			return
 		}
 	}
@@ -330,22 +390,39 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	fan := rt.rec.Begin("fanout", "router", rt.track)
 	fan.SetTrace(tid)
+	// hints collects per-shard Retry-After guidance so a shed response
+	// relays the most pessimistic shard's ask instead of a constant.
+	hints := make([]time.Duration, len(routed))
 	var wg sync.WaitGroup
 	for idx, rb := range routed {
 		wg.Add(1)
 		go func(idx int, rb routedBatch) {
 			defer wg.Done()
 			ps := PerShard{Shard: rb.shard, Updates: len(rb.b)}
-			addr, _ := rt.table.Active(rb.shard)
-			out, err := rt.clientFor(addr).Update(ctx, rb.b, wait)
+			// Whole-sub-batch retries are safe: shard applies are
+			// idempotent (counted no-ops for duplicate inserts and absent
+			// deletes), so a retry after an ambiguous failure cannot
+			// double-apply.
+			var out UpdateOutcome
+			err := rt.callShard(ctx, rb.shard, func(ctx context.Context, c *Client) error {
+				var e error
+				out, e = c.Update(ctx, rb.b, wait)
+				return e
+			})
+			rt.noteOutcome(err)
 			switch {
 			case err == nil:
 				ps.Status, ps.Epochs = "accepted", out.Epochs
 				if out.Applied {
 					ps.Status = "applied"
 				}
-			case IsShed(err):
+			case IsShed(err) || isBreakerOpen(err):
 				ps.Status, ps.Error = "shed", err.Error()
+				if h, ok := RetryAfterHint(err); ok {
+					hints[idx] = h
+				} else if e := (errBreakerOpen{}); errors.As(err, &e) {
+					hints[idx] = e.wait
+				}
 			default:
 				ps.Status, ps.Error = "error", err.Error()
 			}
@@ -400,7 +477,7 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		rt.updatesShed.Inc()
 		code = http.StatusServiceUnavailable
 	}
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", maxRetryAfter(hints))
 	writeJSON(w, code, res)
 }
 
@@ -411,6 +488,8 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, tid := rt.requestTrace(w, r)
+	ctx, cancel := resilience.EnsureBudget(ctx, rt.res.DefaultTimeout)
+	defer cancel()
 	span := rt.rec.Begin("query", "router", rt.track)
 	span.SetTrace(tid)
 	span.Arg("shards", int64(rt.part.Shards()))
@@ -424,9 +503,11 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		minEV = ev
 	}
-	views, vector, degraded, src, err := rt.gatherViews(ctx, algo)
+	views, vector, shardStats, degraded, src, err := rt.gatherViews(ctx, algo)
 	if err != nil {
-		w.Header().Set("Retry-After", "1")
+		// Only a query no shard can contribute to fails whole; anything
+		// less becomes a degraded partial below.
+		w.Header().Set("Retry-After", maxRetryAfter(nil))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -443,18 +524,32 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Consistent: vector.Covers(rt.Floor()),
 		Degraded:   degraded,
 	}
+	// exchangeLost flips when a shard that contributed a view stops
+	// answering eval rounds mid-exchange; the answer is still a sound
+	// partial (min-combine without that shard's relaxations), so it is
+	// stamped degraded instead of failing the query.
+	var exchangeLost atomic.Bool
 	switch algo {
 	case "sssp":
 		dist, rounds, err := SSSPExchange(rt.n, views, func(i int, seeds []int64) ([]int64, error) {
-			addr, _ := rt.table.Active(i)
-			resp, err := rt.clientFor(addr).Eval(ctx, "sssp", sparseSeeds(seeds))
-			if err != nil {
-				return nil, fmt.Errorf("shard %d eval: %w", i, err)
+			if views[i] == nil {
+				return nil, nil // missing shard: no relaxations to offer
+			}
+			var resp EvalResponse
+			callErr := rt.callShard(ctx, i, func(ctx context.Context, c *Client) error {
+				var e error
+				resp, e = c.Eval(ctx, "sssp", sparseSeeds(seeds))
+				return e
+			})
+			if callErr != nil {
+				rt.noteOutcome(callErr)
+				exchangeLost.Store(true)
+				return nil, nil
 			}
 			return resp.Values, nil
 		})
 		if err != nil {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", maxRetryAfter(nil))
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
@@ -468,19 +563,32 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rt.exchangeRnds.Inc()
 		res.Data = map[string]any{"labels": CCExchange(rt.n, views)}
 	}
+	if exchangeLost.Load() {
+		res.Degraded = true
+	}
+	if res.Degraded {
+		res.Shards = shardStats
+		rt.degradedQueries.Inc()
+	}
 	rt.queriesServed.Inc()
 	w.Header().Set(EpochHeader, res.EpochToken)
 	writeJSON(w, http.StatusOK, res)
 }
 
-// gatherViews fetches every shard's published view for algo
-// concurrently, returning the per-shard value vectors, the epoch vector
-// they answer for, whether any was degraded, and (for sssp) the source.
-func (rt *Router) gatherViews(ctx context.Context, algo string) (views [][]int64, vector EpochVector, degraded bool, src graph.NodeID, err error) {
+// gatherViews fetches every shard's view for algo concurrently through
+// the resilient path (retries, hedges, replica stale fallback; see
+// fetchView), returning the per-shard value vectors, the epoch vector
+// they answer for, per-shard provenance, whether the result is
+// degraded, and (for sssp) the source. A shard no member can answer for
+// is *missing*: its views entry stays nil and its vector entry stays 0,
+// visibly behind the floor, so consistency checks fail honestly. Only
+// when every shard is missing does gatherViews return an error — the
+// whole-query 5xx of last resort.
+func (rt *Router) gatherViews(ctx context.Context, algo string) (views [][]int64, vector EpochVector, shardStats []QueryShard, degraded bool, src graph.NodeID, err error) {
 	shards := rt.part.Shards()
 	views = make([][]int64, shards)
 	vector = make(EpochVector, shards)
-	errs := make([]error, shards)
+	shardStats = make([]QueryShard, shards)
 	srcs := make([]graph.NodeID, shards)
 	degs := make([]bool, shards)
 	var wg sync.WaitGroup
@@ -488,32 +596,43 @@ func (rt *Router) gatherViews(ctx context.Context, algo string) (views [][]int64
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			addr, healthy := rt.table.Active(i)
-			if !healthy || addr == "" {
-				errs[i] = fmt.Errorf("shard %d is not healthy", i)
-				return
+			qs := QueryShard{Shard: i}
+			sv, status, ferr := rt.fetchView(ctx, i, algo)
+			switch {
+			case ferr != nil:
+				rt.noteOutcome(ferr)
+				qs.Status, qs.Error = "missing", ferr.Error()
+			case len(sv.Values) != rt.n:
+				qs.Status = "missing"
+				qs.Error = fmt.Sprintf("view has %d nodes, want %d", len(sv.Values), rt.n)
+			default:
+				qs.Status, qs.Epoch = status, sv.Epoch
+				views[i], vector[i], srcs[i] = sv.Values, sv.Epoch, sv.Src
+				// A shard answered, but not by its primary's live view:
+				// hedged/stale reads and degraded shard views are all
+				// reasons to stamp the assembled answer degraded.
+				degs[i] = sv.Degraded || status != "ok"
 			}
-			sv, err := rt.clientFor(addr).View(ctx, algo)
-			if err != nil {
-				errs[i] = fmt.Errorf("shard %d: %w", i, err)
-				return
-			}
-			if len(sv.Values) != rt.n {
-				errs[i] = fmt.Errorf("shard %d: view has %d nodes, want %d", i, len(sv.Values), rt.n)
-				return
-			}
-			views[i], vector[i], srcs[i], degs[i] = sv.Values, sv.Epoch, sv.Src, sv.Degraded
+			shardStats[i] = qs
 		}(i)
 	}
 	wg.Wait()
-	for i, e := range errs {
-		if e != nil {
-			return nil, nil, false, 0, e
+	present := 0
+	var lastErr string
+	for i := range shardStats {
+		if views[i] == nil {
+			degraded = true
+			lastErr = shardStats[i].Error
+			continue
 		}
+		present++
 		degraded = degraded || degs[i]
 		src = srcs[i] // all shards share the source; any entry works
 	}
-	return views, vector, degraded, src, nil
+	if present == 0 {
+		return nil, nil, nil, false, 0, fmt.Errorf("no shard could answer %s query (%s)", algo, lastErr)
+	}
+	return views, vector, shardStats, degraded, src, nil
 }
 
 // sparseSeeds converts a dense seed vector to the [vertex, value] pairs

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"incgraph/internal/cc"
 	"incgraph/internal/gen"
@@ -181,7 +182,8 @@ func TestRouterDifferential(t *testing.T) {
 
 // TestRouterShedsOnUnhealthyShard: an unhealthy owning shard must shed
 // the whole batch with 503 + Retry-After before any shard sees a byte,
-// and queries must refuse rather than assemble a partial answer.
+// while queries degrade to a per-shard partial answer (the unhealthy
+// shard reported missing, its epoch entry 0) instead of failing whole.
 func TestRouterShedsOnUnhealthyShard(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	g := gen.PowerLaw(rng, 120, 5, true)
@@ -200,8 +202,18 @@ func TestRouterShedsOnUnhealthyShard(t *testing.T) {
 	if res.Applied {
 		t.Fatal("shed batch acked as applied")
 	}
-	if qw, _ := queryRouter(t, h, "sssp", ""); qw.Code != http.StatusServiceUnavailable {
-		t.Fatalf("query with a dead shard: %d, want 503", qw.Code)
+	qw, qres := queryRouter(t, h, "sssp", "")
+	if qw.Code != http.StatusOK {
+		t.Fatalf("query with a dead shard: %d, want 200 degraded partial", qw.Code)
+	}
+	if !qres.Degraded {
+		t.Fatal("partial query not stamped degraded")
+	}
+	if len(qres.Shards) != 2 || qres.Shards[1].Status != "missing" {
+		t.Fatalf("per-shard provenance = %+v, want shard 1 missing", qres.Shards)
+	}
+	if qres.Epochs[1] != 0 {
+		t.Fatalf("missing shard's epoch entry = %d, want 0", qres.Epochs[1])
 	}
 
 	table.SetHealth(1, true)
@@ -269,6 +281,79 @@ func TestRouterPartialApplyReported(t *testing.T) {
 	// The applied slice is acknowledged state: the floor must cover it.
 	if floor := rt.Floor(); floor[0] == 0 {
 		t.Fatalf("floor %v does not cover shard 0's applied slice", floor)
+	}
+}
+
+// TestRouterCrashMidFanOut: a shard that crashes outright (connection
+// refused — not a 5xx-ing server, and not yet marked unhealthy in the
+// table) must surface as a per-shard "error" in the update report with
+// the batch unacked, and subsequent queries must degrade to a partial
+// whose epoch vector still covers the surviving shard's applied slice
+// while the crashed shard's entry reads 0 — acknowledged work is never
+// silently lost, and staleness is never hidden.
+func TestRouterCrashMidFanOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	g := gen.PowerLaw(rng, 150, 5, true)
+	src := graph.NodeID(0)
+	p := NewHashPartitioner(2)
+	good := startShardDaemon(t, g, p, 0, src)
+	crashed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	table := NewTable([]string{good.URL, crashed.URL})
+	rt, err := NewRouter(RouterOptions{Part: p, Table: table, Directed: true, NumNodes: g.NumNodes(),
+		// Tight retry budget: the crashed shard fails fast instead of
+		// riding three full backoff cycles per call.
+		Resilience: ResilienceOptions{Attempts: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.Handler()
+	// The crash: the process is gone, connections are refused, but the
+	// table has not noticed yet (health still true).
+	crashed.Close()
+
+	var b graph.Batch
+	var got0, got1 bool
+	for v := 0; v < g.NumNodes() && !(got0 && got1); v++ {
+		u := graph.NodeID(v)
+		if p.Owner(u) == 0 && !got0 {
+			b = append(b, graph.Update{Kind: graph.InsertEdge, From: u, To: (u + 1) % graph.NodeID(g.NumNodes()), W: 1})
+			got0 = true
+		}
+		if p.Owner(u) == 1 && !got1 {
+			b = append(b, graph.Update{Kind: graph.InsertEdge, From: u, To: (u + 2) % graph.NodeID(g.NumNodes()), W: 1})
+			got1 = true
+		}
+	}
+	w, res := postBatch(t, h, b, true)
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("crash mid-fan-out returned %d, want 502", w.Code)
+	}
+	if res.Applied {
+		t.Fatal("partially applied batch acked as applied")
+	}
+	statuses := map[int]string{}
+	for _, ps := range res.PerShard {
+		statuses[ps.Shard] = ps.Status
+	}
+	if statuses[0] != "applied" || statuses[1] != "error" {
+		t.Fatalf("per-shard statuses %v, want shard0 applied / shard1 error", statuses)
+	}
+
+	qw, qres := queryRouter(t, h, "sssp", "")
+	if qw.Code != http.StatusOK {
+		t.Fatalf("query after crash: %d, want 200 degraded partial", qw.Code)
+	}
+	if !qres.Degraded {
+		t.Fatal("partial query not stamped degraded")
+	}
+	if qres.Epochs[0] == 0 {
+		t.Fatalf("epoch vector %v does not cover shard 0's applied slice", qres.Epochs)
+	}
+	if qres.Epochs[1] != 0 {
+		t.Fatalf("crashed shard's epoch entry = %d, want 0", qres.Epochs[1])
+	}
+	if len(qres.Shards) != 2 || qres.Shards[1].Status != "missing" {
+		t.Fatalf("per-shard provenance = %+v, want shard 1 missing", qres.Shards)
 	}
 }
 

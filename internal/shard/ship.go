@@ -235,6 +235,18 @@ type Follower struct {
 	tail  *wal.Tail
 	track int32 // replication track on opt.Recorder, 0 when untraced
 
+	// applyMu serializes maintainer applies against View snapshots, so a
+	// stale read taken mid-replay still sees a record-aligned state.
+	applyMu sync.Mutex
+
+	// pullFails/skipTicks implement deterministic pull backoff: after k
+	// consecutive pull errors the follower skips min(2^k,16)-1 ticks
+	// before contacting the primary again, so a dead primary is probed at
+	// a trickle instead of every interval. Local replay still runs every
+	// tick — shipped bytes keep draining regardless.
+	pullFails int
+	skipTicks int
+
 	mu         sync.Mutex
 	epochs     map[string]uint64
 	batches    map[string]uint64
@@ -321,11 +333,30 @@ func (f *Follower) Run() {
 	})
 }
 
-// cycle is one pull+replay round.
+// cycle is one pull+replay round. Consecutive pull failures back the
+// pull off exponentially (skip 1, 3, 7, … up to 15 ticks between
+// probes); replay always runs so already-shipped bytes drain even while
+// the primary is unreachable.
 func (f *Follower) cycle() {
+	if f.skipTicks > 0 {
+		f.skipTicks--
+		f.replayLocal()
+		return
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	p, err := PullWALStatus(ctx, f.opt.Client, f.opt.Source, f.opt.Dir)
+	if err != nil {
+		f.pullFails++
+		skip := 1 << f.pullFails
+		if skip > 16 {
+			skip = 16
+		}
+		f.skipTicks = skip - 1
+	} else {
+		f.pullFails = 0
+		f.skipTicks = 0
+	}
 	f.mu.Lock()
 	f.shipped += p.Shipped
 	f.lagSegs = p.LagSegments
@@ -333,7 +364,7 @@ func (f *Follower) cycle() {
 	f.lastErr = err
 	f.mu.Unlock()
 	if err != nil {
-		f.opt.Logf("follower: pull from %s: %v", f.opt.Source, err)
+		f.opt.Logf("follower: pull from %s: %v (next probe in %d ticks)", f.opt.Source, err, f.skipTicks+1)
 	}
 	f.replayLocal()
 }
@@ -352,11 +383,13 @@ func (f *Follower) replayLocal() {
 			}
 		}
 		apply := func(name string, m serve.Serveable) {
+			f.applyMu.Lock()
 			m.Apply(rec.Batch.Net(m.Graph().Directed()))
 			f.mu.Lock()
 			f.epochs[name] += uint64(len(rec.Batch))
 			f.batches[name]++
 			f.mu.Unlock()
+			f.applyMu.Unlock()
 		}
 		if rec.Algo == "" {
 			for name, m := range f.opt.Targets {
@@ -431,6 +464,32 @@ func (f *Follower) Batches() map[string]uint64 {
 		out[a] = b
 	}
 	return out
+}
+
+// View serves a stale read from the replica's maintainers while the
+// follower is still running — the surface a router falls back to when
+// the primary's breaker is open. The view is always stamped Degraded:
+// it trails the primary by the replication lag, and the epoch says by
+// exactly how much. Returns false for an algo the replica does not
+// host.
+func (f *Follower) View(algo string) (serve.View, bool) {
+	m, ok := f.opt.Targets[algo]
+	if !ok {
+		return serve.View{}, false
+	}
+	f.applyMu.Lock()
+	data := m.Snapshot()
+	f.mu.Lock()
+	v := serve.View{
+		Algo:     algo,
+		Epoch:    f.epochs[algo],
+		Batches:  f.batches[algo],
+		Degraded: true,
+		Data:     data,
+	}
+	f.mu.Unlock()
+	f.applyMu.Unlock()
+	return v, true
 }
 
 // Status reports the follower's replication progress.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"incgraph/internal/obs"
+	"incgraph/internal/resilience"
 )
 
 // Supervisor owns the shard topology as processes: it spawns each shard
@@ -57,9 +58,17 @@ type SupervisorOptions struct {
 	// member (default 3).
 	ProbeFailures int
 	// RestartBackoff is the initial delay before restarting a crashed
-	// child; it doubles per consecutive crash, capped at 16x
-	// (default 250ms).
+	// child; it doubles per consecutive crash up to RestartBackoffMax,
+	// with equal jitter (uniform over the upper half of the current
+	// ceiling) so members crash-looping on a shared cause don't
+	// synchronize their restarts into restorms (default 250ms).
 	RestartBackoff time.Duration
+	// RestartBackoffMax caps the restart backoff (default
+	// 16 × RestartBackoff).
+	RestartBackoffMax time.Duration
+	// JitterSeed seeds the restart jitter; 0 derives a seed from the
+	// wall clock. Tests pin it for reproducible schedules.
+	JitterSeed int64
 	// Client overrides the HTTP client used for probes and promotion.
 	Client *http.Client
 	// Logf receives supervisor events; nil discards them.
@@ -95,6 +104,12 @@ func (o SupervisorOptions) withDefaults() SupervisorOptions {
 	if o.RestartBackoff <= 0 {
 		o.RestartBackoff = 250 * time.Millisecond
 	}
+	if o.RestartBackoffMax <= 0 {
+		o.RestartBackoffMax = 16 * o.RestartBackoff
+	}
+	if o.JitterSeed == 0 {
+		o.JitterSeed = time.Now().UnixNano()
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -104,6 +119,9 @@ func (o SupervisorOptions) withDefaults() SupervisorOptions {
 // Supervisor spawns and monitors the children described by its specs.
 type Supervisor struct {
 	opt SupervisorOptions
+	// restartBackoff jitters restart delays; shared across monitors so
+	// concurrent crash loops draw decorrelated sleeps.
+	restartBackoff *resilience.Backoff
 
 	mu    sync.Mutex
 	procs map[string]*managedProc
@@ -132,10 +150,11 @@ func NewSupervisor(opt SupervisorOptions) (*Supervisor, error) {
 		return nil, fmt.Errorf("shard: supervisor needs a routing table")
 	}
 	s := &Supervisor{
-		opt:      opt,
-		procs:    make(map[string]*managedProc),
-		promoted: make(map[int]bool),
-		stop:     make(chan struct{}),
+		opt:            opt,
+		restartBackoff: resilience.NewBackoff(opt.RestartBackoff, opt.RestartBackoffMax, opt.JitterSeed),
+		procs:          make(map[string]*managedProc),
+		promoted:       make(map[int]bool),
+		stop:           make(chan struct{}),
 	}
 	for _, spec := range opt.Specs {
 		if spec.Shard < 0 || spec.Shard >= opt.Table.Shards() {
@@ -210,7 +229,7 @@ func (s *Supervisor) spawn(p *managedProc) error {
 // with a replica, otherwise restart with backoff.
 func (s *Supervisor) monitor(p *managedProc) {
 	defer s.wg.Done()
-	backoff := s.opt.RestartBackoff
+	crashes := 0
 	for {
 		p.mu.Lock()
 		cmd := p.cmd
@@ -235,13 +254,12 @@ func (s *Supervisor) monitor(p *managedProc) {
 		if !p.spec.Replica {
 			s.opt.Table.SetHealth(p.spec.Shard, false)
 		}
+		backoff := s.restartBackoff.DelayFloored(crashes)
+		crashes++
 		select {
 		case <-s.stop:
 			return
 		case <-time.After(backoff):
-		}
-		if backoff < 16*s.opt.RestartBackoff {
-			backoff *= 2
 		}
 		s.record("restart", p.spec.Name, p.spec.Shard, fmt.Sprintf("after %s backoff", backoff))
 		if err := s.spawn(p); err != nil {

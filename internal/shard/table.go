@@ -91,6 +91,18 @@ func (t *Table) Replica(i int) string {
 	return t.slots[i].replica
 }
 
+// Generation returns shard i's promotion count. The router watches it
+// to forget a slot's failure history (its circuit breaker) when a
+// promotion installs a fresh member behind the same slot.
+func (t *Table) Generation(i int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i < 0 || i >= len(t.slots) {
+		return 0
+	}
+	return t.slots[i].generation
+}
+
 // SetHealth records a probe verdict for shard i's active member.
 func (t *Table) SetHealth(i int, ok bool) {
 	t.mu.Lock()
