@@ -1,0 +1,161 @@
+package incgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"incgraph/internal/bc"
+	"incgraph/internal/cc"
+	"incgraph/internal/dfs"
+	"incgraph/internal/graph"
+	"incgraph/internal/lcc"
+	"incgraph/internal/sim"
+	"incgraph/internal/sssp"
+)
+
+// flatStream builds a random update stream over n nodes: a third
+// deletions, the rest weighted insertions (re-inserting an existing edge
+// replaces its weight, which exercises the overlay's resurrect path).
+func flatStream(rng *rand.Rand, n, length int) graph.Batch {
+	b := make(graph.Batch, 0, length)
+	for len(b) < length {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if rng.Intn(3) == 0 {
+			b = append(b, graph.Update{Kind: graph.DeleteEdge, From: u, To: v})
+		} else {
+			b = append(b, graph.Update{Kind: graph.InsertEdge, From: u, To: v, W: int64(rng.Intn(9) + 1)})
+		}
+	}
+	return b
+}
+
+// TestFlatDifferentialSixClass is the whole-fleet differential test of
+// the flat (CSR + overlay) execution core. For the three classes whose
+// adapters read the flat view (SSSP, CC, BC) it runs a flat-backed and a
+// legacy (WithoutFlat) maintainer side by side on the same random update
+// stream and requires the published results — and for the engine-backed
+// classes the Portable WorkLedgers, bit for bit — to agree after every
+// batch. (Portable zeroes Rounds: the flat view scans rows in CSR order
+// while the legacy path scans insertion order, and round boundaries are
+// schedule-dependent — the same reason the seq/par differential compares
+// Portable ledgers.) The
+// remaining classes (Sim, DFS, LCC), which this refactor moved onto
+// dense epoch-marked sets rather than the flat view itself, are checked
+// against from-scratch recomputation each batch. Seeds come from
+// testing/quick; run under -race this also exercises staging vs the
+// parallel drain.
+func TestFlatDifferentialSixClass(t *testing.T) {
+	const nodes, chunks, chunkLen = 160, 6, 40
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gd := PowerLawGraph(seed+1, nodes, 4, true)
+		gu := PowerLawGraph(seed+2, nodes, 4, false)
+		pattern := RandomPattern(seed+3, 4, 5, 3)
+
+		sFlat := sssp.NewInc(gd.Clone(), 0)
+		sLegacy := sssp.NewInc(gd.Clone(), 0, sssp.WithoutFlat())
+		cFlat := cc.NewInc(gu.Clone())
+		cLegacy := cc.NewInc(gu.Clone(), cc.WithoutFlat())
+		bFlat := bc.NewInc(gu.Clone())
+		bLegacy := bc.NewInc(gu.Clone(), bc.WithoutFlat())
+		simEng := sim.NewIncEngine(gd.Clone(), pattern)
+		dfsInc := dfs.NewInc(gu.Clone())
+		dfsLegacy := dfs.NewInc(gu.Clone(), dfs.WithoutFlat())
+		lccInc := lcc.NewInc(gu.Clone())
+
+		// An aggressive threshold on one side forces several compactions
+		// mid-stream, so the differential covers overlay reads, compacted
+		// reads, and the transition between them.
+		sFlat.SetCompactThreshold(0.05)
+		cFlat.SetCompactThreshold(0.05)
+
+		if sLegacy.Flat() != nil || cLegacy.Flat() != nil || bLegacy.Flat() != nil {
+			t.Errorf("seed %d: WithoutFlat maintainer still built a flat view", seed)
+			return false
+		}
+
+		for i := 0; i < chunks; i++ {
+			dStream := flatStream(rng, nodes, chunkLen)
+			uStream := flatStream(rng, nodes, chunkLen)
+
+			sFlat.Stage(dStream)
+			sLegacy.Stage(dStream)
+			sFlat.Repair()
+			sLegacy.Repair()
+			if !reflect.DeepEqual(sFlat.Dist(), sLegacy.Dist()) {
+				t.Errorf("seed %d chunk %d: sssp flat vs legacy distances diverged", seed, i)
+				return false
+			}
+			if a, b := sFlat.Stats().Ledger.Portable(), sLegacy.Stats().Ledger.Portable(); a != b {
+				t.Errorf("seed %d chunk %d: sssp ledgers diverged:\nflat   %+v\nlegacy %+v", seed, i, a, b)
+				return false
+			}
+
+			cFlat.Stage(uStream)
+			cLegacy.Stage(uStream)
+			cFlat.Repair()
+			cLegacy.Repair()
+			if !reflect.DeepEqual(cFlat.Labels(), cLegacy.Labels()) {
+				t.Errorf("seed %d chunk %d: cc flat vs legacy labels diverged", seed, i)
+				return false
+			}
+			if a, b := cFlat.Stats().Ledger.Portable(), cLegacy.Stats().Ledger.Portable(); a != b {
+				t.Errorf("seed %d chunk %d: cc ledgers diverged:\nflat   %+v\nlegacy %+v", seed, i, a, b)
+				return false
+			}
+
+			bFlat.Stage(uStream)
+			bLegacy.Stage(uStream)
+			bFlat.Repair()
+			bLegacy.Repair()
+			if !bFlat.Result().Equivalent(bLegacy.Result()) {
+				t.Errorf("seed %d chunk %d: bc flat vs legacy results diverged", seed, i)
+				return false
+			}
+
+			simEng.Apply(dStream)
+			if ref := sim.Simfp(simEng.Graph(), pattern); !simEng.Relation().Equal(ref) {
+				t.Errorf("seed %d chunk %d: sim relation diverged from recompute", seed, i)
+				return false
+			}
+
+			dfsInc.Stage(uStream)
+			dfsLegacy.Stage(uStream)
+			dfsInc.Repair()
+			dfsLegacy.Repair()
+			if !dfsInc.Tree().IsValid(dfsInc.Graph()) {
+				t.Errorf("seed %d chunk %d: dfs tree invalid after repair", seed, i)
+				return false
+			}
+			// The canonical traversal is a unique function of the graph, so
+			// flat and legacy neighbor enumeration must build the SAME tree.
+			if !dfsInc.Tree().Equal(dfsLegacy.Tree()) {
+				t.Errorf("seed %d chunk %d: dfs flat vs legacy trees diverged", seed, i)
+				return false
+			}
+
+			lccInc.Stage(uStream)
+			lccInc.Repair()
+			if ref := lcc.Run(lccInc.Graph()); !lccInc.Result().Equal(ref) {
+				t.Errorf("seed %d chunk %d: lcc result diverged from recompute", seed, i)
+				return false
+			}
+		}
+		// The aggressive threshold must actually have compacted; the
+		// default-threshold BC view must still be live.
+		if sFlat.Flat().Compactions() == 0 {
+			t.Errorf("seed %d: sssp flat view never compacted at threshold 0.05", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3}); err != nil {
+		t.Fatal(err)
+	}
+}

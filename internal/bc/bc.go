@@ -90,9 +90,12 @@ func Run(g *graph.Graph) *Result {
 	}
 	st := newLowpointState(n)
 	st.epoch = 1
+	nb := func(v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+		return appendSortedNbrs(g, v, buf)
+	}
 	for s := 0; s < n; s++ {
 		if !st.visited(graph.NodeID(s)) {
-			st.runComponent(g, graph.NodeID(s), r)
+			st.runComponent(nb, graph.NodeID(s), r)
 		}
 	}
 	return r
@@ -108,6 +111,12 @@ type lowpointState struct {
 	clock    int32
 	comp     int32 // monotonic component-id allocator
 	estack   [][2]graph.NodeID
+	// arena holds the sorted neighbor lists of every frame on the DFS
+	// stack, stacked end to end; frames reference [lo, hi) windows and the
+	// window is truncated when its frame pops. One growable backing array
+	// thus replaces a per-visited-node allocate-and-sort.
+	arena  []graph.NodeID
+	fstack []bcFrame
 }
 
 func newLowpointState(n int) *lowpointState {
@@ -136,23 +145,31 @@ func (st *lowpointState) grow(n int) {
 	}
 }
 
+// nbrFunc appends v's neighbors to buf in ascending id order and returns
+// the extended slice — the DFS's only adjacency dependency, satisfied by
+// either the graph's lists (appendSortedNbrs) or a flat view's
+// AppendOutSorted.
+type nbrFunc func(v graph.NodeID, buf []graph.NodeID) []graph.NodeID
+
+// bcFrame is one DFS stack frame; [lo, hi) windows the state's neighbor
+// arena, i is the cursor within that window.
 type bcFrame struct {
 	v, parent graph.NodeID
-	nbrs      []graph.NodeID
-	i         int
+	lo, i, hi int32
 	children  int
 }
 
 // runComponent explores the connected component of s, filling r's
 // articulation flags and edge components for exactly that component.
-func (st *lowpointState) runComponent(g *graph.Graph, s graph.NodeID, r *Result) {
+func (st *lowpointState) runComponent(nb nbrFunc, s graph.NodeID, r *Result) {
 	st.discover(s, r)
 	st.estack = st.estack[:0]
-	stack := []bcFrame{{v: s, parent: -1, nbrs: sortedNbrs(g, s)}}
-	for len(stack) > 0 {
-		f := &stack[len(stack)-1]
-		if f.i < len(f.nbrs) {
-			w := f.nbrs[f.i]
+	st.arena = nb(s, st.arena[:0])
+	st.fstack = append(st.fstack[:0], bcFrame{v: s, parent: -1, lo: 0, i: 0, hi: int32(len(st.arena))})
+	for len(st.fstack) > 0 {
+		f := &st.fstack[len(st.fstack)-1]
+		if f.i < f.hi {
+			w := st.arena[f.i]
 			f.i++
 			if w == f.parent {
 				f.parent = -1 // skip the tree edge back to the parent once
@@ -162,7 +179,9 @@ func (st *lowpointState) runComponent(g *graph.Graph, s graph.NodeID, r *Result)
 				st.estack = append(st.estack, key(f.v, w))
 				st.discover(w, r)
 				f.children++
-				stack = append(stack, bcFrame{v: w, parent: f.v, nbrs: sortedNbrs(g, w)})
+				lo := int32(len(st.arena))
+				st.arena = nb(w, st.arena)
+				st.fstack = append(st.fstack, bcFrame{v: w, parent: f.v, lo: lo, i: lo, hi: int32(len(st.arena))})
 			} else if st.num[w] < st.num[f.v] {
 				// Back edge to an ancestor.
 				st.estack = append(st.estack, key(f.v, w))
@@ -173,11 +192,12 @@ func (st *lowpointState) runComponent(g *graph.Graph, s graph.NodeID, r *Result)
 			continue
 		}
 		v := f.v
-		stack = stack[:len(stack)-1]
-		if len(stack) == 0 {
+		st.arena = st.arena[:f.lo]
+		st.fstack = st.fstack[:len(st.fstack)-1]
+		if len(st.fstack) == 0 {
 			break
 		}
-		p := &stack[len(stack)-1]
+		p := &st.fstack[len(st.fstack)-1]
 		if st.low[v] < st.low[p.v] {
 			st.low[p.v] = st.low[v]
 		}
@@ -185,7 +205,7 @@ func (st *lowpointState) runComponent(g *graph.Graph, s graph.NodeID, r *Result)
 			// p.v separates v's subtree: one biconnected component closes.
 			// Non-root parents become articulation points; the root does
 			// when it has a second child.
-			if len(stack) > 1 || p.children > 1 {
+			if len(st.fstack) > 1 || p.children > 1 {
 				r.Articulation[p.v] = true
 			}
 			e := key(p.v, v)
@@ -202,19 +222,20 @@ func (st *lowpointState) runComponent(g *graph.Graph, s graph.NodeID, r *Result)
 	}
 }
 
-func sortedNbrs(g *graph.Graph, v graph.NodeID) []graph.NodeID {
-	out := g.Out(v)
-	ns := make([]graph.NodeID, len(out))
-	for i, e := range out {
-		ns[i] = e.To
+// appendSortedNbrs appends v's neighbors from the graph's adjacency to
+// buf in ascending order. Insertion sort: adjacency lists are short on
+// average.
+func appendSortedNbrs(g *graph.Graph, v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+	base := len(buf)
+	for _, e := range g.Out(v) {
+		buf = append(buf, e.To)
 	}
-	// Insertion sort: adjacency lists are short on average.
-	for i := 1; i < len(ns); i++ {
-		for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
-			ns[j], ns[j-1] = ns[j-1], ns[j]
+	for i := base + 1; i < len(buf); i++ {
+		for j := i; j > base && buf[j] < buf[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
 		}
 	}
-	return ns
+	return buf
 }
 
 // Inc is the deducible incremental BC algorithm: Apply re-derives the
@@ -229,14 +250,40 @@ func sortedNbrs(g *graph.Graph, v graph.NodeID) []graph.NodeID {
 // publishes immutable snapshots to readers.
 type Inc struct {
 	g       *graph.Graph
+	flat    *graph.Flat // nil when built WithoutFlat
+	nb      nbrFunc     // DFS adjacency source: flat sorted rows or g's lists
 	res     *Result
 	st      *lowpointState
 	pending graph.Batch
 }
 
+// Option configures an incremental maintainer.
+type Option func(*incOpts)
+
+type incOpts struct{ noFlat bool }
+
+// WithoutFlat disables the flat CSR+overlay adjacency view, keeping the
+// legacy per-node allocate-and-sort neighbor path. Used by differential
+// tests that pin the two paths against each other.
+func WithoutFlat() Option { return func(o *incOpts) { o.noFlat = true } }
+
 // NewInc runs the batch algorithm and returns the incremental one.
-func NewInc(g *graph.Graph) *Inc {
+func NewInc(g *graph.Graph, opts ...Option) *Inc {
+	var o incOpts
+	for _, f := range opts {
+		f(&o)
+	}
 	i := &Inc{g: g, st: newLowpointState(g.NumNodes())}
+	if !o.noFlat {
+		i.flat = graph.NewFlat(g)
+		i.nb = func(v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+			return i.flat.AppendOutSorted(v, buf)
+		}
+	} else {
+		i.nb = func(v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+			return appendSortedNbrs(i.g, v, buf)
+		}
+	}
 	i.res = &Result{
 		Articulation: make([]bool, g.NumNodes()),
 		EdgeComp:     make(map[[2]graph.NodeID]int32, g.NumEdges()),
@@ -244,7 +291,7 @@ func NewInc(g *graph.Graph) *Inc {
 	i.st.epoch = 1
 	for s := 0; s < g.NumNodes(); s++ {
 		if !i.st.visited(graph.NodeID(s)) {
-			i.st.runComponent(g, graph.NodeID(s), i.res)
+			i.st.runComponent(i.nb, graph.NodeID(s), i.res)
 		}
 	}
 	return i
@@ -252,6 +299,19 @@ func NewInc(g *graph.Graph) *Inc {
 
 // Graph returns the maintained graph.
 func (i *Inc) Graph() *graph.Graph { return i.g }
+
+// Flat returns the maintainer's flat adjacency view (nil WithoutFlat),
+// for observability of overlay size and compaction counts.
+func (i *Inc) Flat() *graph.Flat { return i.flat }
+
+// SetCompactThreshold sets the flat view's overlay-to-base compaction
+// ratio (see graph.Flat.SetCompactThreshold). No-op when the maintainer
+// was built WithoutFlat. Single-writer contract: call between Applies.
+func (i *Inc) SetCompactThreshold(t float64) {
+	if i.flat != nil {
+		i.flat.SetCompactThreshold(t)
+	}
+}
 
 // Result returns the maintained structure (aliased).
 func (i *Inc) Result() *Result { return i.res }
@@ -291,7 +351,12 @@ func (i *Inc) Apply(b graph.Batch) int {
 
 // Stage materializes G ⊕ ΔG without repairing.
 func (i *Inc) Stage(b graph.Batch) {
-	i.pending = append(i.pending, i.g.Apply(b.Net(false))...)
+	applied := i.g.Apply(b.Net(false))
+	i.pending = append(i.pending, applied...)
+	if i.flat != nil {
+		i.flat.Stage(i.g, applied)
+		i.flat.MaybeCompact(i.g)
+	}
 	i.st.grow(i.g.NumNodes())
 	for len(i.res.Articulation) < i.g.NumNodes() {
 		i.res.Articulation = append(i.res.Articulation, false)
@@ -318,7 +383,7 @@ func (i *Inc) Repair() int {
 				continue
 			}
 			pre := i.st.clock
-			i.st.runComponent(i.g, v, i.res)
+			i.st.runComponent(i.nb, v, i.res)
 			visitedNodes += int(i.st.clock - pre)
 		}
 	}

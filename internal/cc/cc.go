@@ -90,8 +90,14 @@ func UnionFind(g *graph.Graph) []int64 {
 // Instance is the CC instantiation of the fixpoint model (Example 2): one
 // variable per node holding a component id, f_xv = min({id_v} ∪ Y_xv) over
 // the neighbors. It is contracting and monotonic under the order on ids.
+//
+// When Flat is set, all adjacency reads go through the flat CSR+overlay
+// view instead of G's pointer-rich lists, and the engine's row-based drain
+// (fixpoint.UniformRelaxer) becomes available. The incremental maintainer
+// keeps Flat in sync with G; leave it nil for a plain map-backed instance.
 type Instance struct {
-	G *graph.Graph
+	G    *graph.Graph
+	Flat *graph.Flat
 }
 
 // NumVars returns one variable per node.
@@ -108,6 +114,13 @@ func (c *Instance) Equal(a, b int64) bool { return a == b }
 
 func (c *Instance) neighbors(x fixpoint.Var, yield func(fixpoint.Var)) {
 	v := graph.NodeID(x)
+	if c.Flat != nil {
+		c.Flat.EachOut(v, func(u graph.NodeID, _ int64) { yield(fixpoint.Var(u)) })
+		if c.G.Directed() {
+			c.Flat.EachIn(v, func(u graph.NodeID, _ int64) { yield(fixpoint.Var(u)) })
+		}
+		return
+	}
 	for _, e := range c.G.Out(v) {
 		yield(fixpoint.Var(e.To))
 	}
@@ -125,13 +138,50 @@ func (c *Instance) Inputs(x fixpoint.Var, yield func(fixpoint.Var)) { c.neighbor
 func (c *Instance) Dependents(x fixpoint.Var, yield func(fixpoint.Var)) { c.neighbors(x, yield) }
 
 // Update evaluates f_x: the minimum of the node's id and neighbor labels.
+// On the flat path the meet over the dependent row is branch-free
+// (fixpoint.MinInt64); labels are node ids, far from the overflow bound.
 func (c *Instance) Update(x fixpoint.Var, get func(fixpoint.Var) int64) int64 {
 	best := int64(x)
+	if c.Flat != nil {
+		v := graph.NodeID(x)
+		best = c.flatMeet(v, best, get, false)
+		if c.G.Directed() {
+			best = c.flatMeet(v, best, get, true)
+		}
+		return best
+	}
 	c.neighbors(x, func(y fixpoint.Var) {
 		if v := get(y); v < best {
 			best = v
 		}
 	})
+	return best
+}
+
+// flatMeet folds get over one direction of v's flat adjacency.
+func (c *Instance) flatMeet(v graph.NodeID, best int64, get func(fixpoint.Var) int64, in bool) int64 {
+	var ts []graph.NodeID
+	var dead []bool
+	var extra []graph.Edge
+	if in {
+		ts, _, dead, extra = c.Flat.InSpans(v)
+	} else {
+		ts, _, dead, extra = c.Flat.OutSpans(v)
+	}
+	if dead == nil {
+		for _, u := range ts {
+			best = fixpoint.MinInt64(best, get(fixpoint.Var(u)))
+		}
+	} else {
+		for k, u := range ts {
+			if !dead[k] {
+				best = fixpoint.MinInt64(best, get(fixpoint.Var(u)))
+			}
+		}
+	}
+	for _, e := range extra {
+		best = fixpoint.MinInt64(best, get(fixpoint.Var(e.To)))
+	}
 	return best
 }
 
@@ -146,6 +196,52 @@ func (c *Instance) Seeds(yield func(fixpoint.Var)) {
 // fast path of the engine.
 func (c *Instance) RelaxOut(x fixpoint.Var, xv int64, emit func(fixpoint.Var, int64)) {
 	c.neighbors(x, func(y fixpoint.Var) { emit(y, xv) })
+}
+
+// DependentRow appends x's neighbors to buf (fixpoint.UniformRelaxer):
+// min-label propagation emits the same candidate everywhere, so the
+// engine's sequential drain installs it along this row with no per-edge
+// closure. The row visits exactly what RelaxOut emits to, in the same
+// order, on both the flat and the legacy path.
+func (c *Instance) DependentRow(x fixpoint.Var, buf []fixpoint.Var) []fixpoint.Var {
+	v := graph.NodeID(x)
+	if c.Flat == nil {
+		for _, e := range c.G.Out(v) {
+			buf = append(buf, fixpoint.Var(e.To))
+		}
+		if c.G.Directed() {
+			for _, e := range c.G.In(v) {
+				buf = append(buf, fixpoint.Var(e.To))
+			}
+		}
+		return buf
+	}
+	ts, ws, dead, extra := c.Flat.OutSpans(v)
+	buf = appendRow(buf, ts, ws, dead, extra)
+	if c.G.Directed() {
+		ts, ws, dead, extra = c.Flat.InSpans(v)
+		buf = appendRow(buf, ts, ws, dead, extra)
+	}
+	return buf
+}
+
+// appendRow appends the live targets of one flat span set to buf.
+func appendRow(buf []fixpoint.Var, ts []graph.NodeID, _ []int64, dead []bool, extra []graph.Edge) []fixpoint.Var {
+	if dead == nil {
+		for _, u := range ts {
+			buf = append(buf, fixpoint.Var(u))
+		}
+	} else {
+		for k, u := range ts {
+			if !dead[k] {
+				buf = append(buf, fixpoint.Var(u))
+			}
+		}
+	}
+	for _, e := range extra {
+		buf = append(buf, fixpoint.Var(e.To))
+	}
+	return buf
 }
 
 // OutDegree reports the number of dependency edges leaving x — its
@@ -179,15 +275,37 @@ func CCfp(g *graph.Graph) []int64 {
 // loop and publishes immutable snapshots to readers.
 type Inc struct {
 	g       *graph.Graph
+	flat    *graph.Flat // nil when built WithoutFlat
 	eng     *fixpoint.Engine[int64]
+	arena   fixpoint.ScopeArena
 	pending graph.Batch
 }
 
+// Option configures an incremental maintainer.
+type Option func(*incOpts)
+
+type incOpts struct{ noFlat bool }
+
+// WithoutFlat disables the flat CSR+overlay adjacency view, keeping the
+// legacy map-backed hot path. Used by differential tests that pin the two
+// engines against each other; production maintainers should not need it.
+func WithoutFlat() Option { return func(o *incOpts) { o.noFlat = true } }
+
 // NewInc computes the initial fixpoint and returns the algorithm.
-func NewInc(g *graph.Graph) *Inc {
-	eng := fixpoint.New[int64](&Instance{G: g}, fixpoint.PriorityOrder)
+func NewInc(g *graph.Graph, opts ...Option) *Inc {
+	var o incOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	inst := &Instance{G: g}
+	var fl *graph.Flat
+	if !o.noFlat {
+		fl = graph.NewFlat(g)
+		inst.Flat = fl
+	}
+	eng := fixpoint.New[int64](inst, fixpoint.PriorityOrder)
 	eng.Run()
-	return &Inc{g: g, eng: eng}
+	return &Inc{g: g, flat: fl, eng: eng}
 }
 
 // Graph returns the maintained graph.
@@ -254,32 +372,34 @@ func (i *Inc) Apply(b graph.Batch) int {
 // benchmarks time Repair separately from the graph mutation every method
 // needs.
 func (i *Inc) Stage(b graph.Batch) {
-	i.pending = append(i.pending, i.g.Apply(b.Net(i.g.Directed()))...)
+	applied := i.g.Apply(b.Net(i.g.Directed()))
+	i.pending = append(i.pending, applied...)
 	i.eng.Grow()
+	if i.flat != nil {
+		i.flat.Stage(i.g, applied)
+		i.flat.MaybeCompact(i.g)
+	}
 }
+
+// SetCompactThreshold sets the flat view's overlay-to-base compaction
+// ratio (see graph.Flat.SetCompactThreshold). No-op when the maintainer
+// was built WithoutFlat. Single-writer contract: call between Applies.
+func (i *Inc) SetCompactThreshold(t float64) {
+	if i.flat != nil {
+		i.flat.SetCompactThreshold(t)
+	}
+}
+
+// Flat returns the maintainer's flat adjacency view (nil WithoutFlat),
+// for observability of overlay size and compaction counts.
+func (i *Inc) Flat() *graph.Flat { return i.flat }
 
 // Repair runs the incremental algorithm over the staged updates.
 func (i *Inc) Repair() int {
 	applied := i.pending
-	i.pending = nil
-	idx := make(map[fixpoint.Var]bool, 2*len(applied))
-	var touched []fixpoint.Touched
-	addTouched := func(v graph.NodeID) {
-		x := fixpoint.Var(v)
-		if !idx[x] {
-			idx[x] = true
-			touched = append(touched, fixpoint.Touched{X: x, MaybeInfeasible: true})
-		}
-	}
-	seen := make(map[fixpoint.Var]bool, 2*len(applied))
-	var seeds []fixpoint.Var
-	addSeed := func(v graph.NodeID) {
-		x := fixpoint.Var(v)
-		if !seen[x] {
-			seen[x] = true
-			seeds = append(seeds, x)
-		}
-	}
+	i.pending = i.pending[:0]
+	a := &i.arena
+	a.Begin(i.g.NumNodes())
 	for _, u := range applied {
 		switch u.Kind {
 		case graph.InsertEdge:
@@ -287,14 +407,14 @@ func (i *Inc) Repair() int {
 			// endpoints relaxes the new edge in whichever direction the
 			// smaller label flows, even when deletions in the same batch
 			// relabel either side during h.
-			addSeed(u.From)
-			addSeed(u.To)
+			a.Seed(fixpoint.Var(u.From))
+			a.Seed(fixpoint.Var(u.To))
 		case graph.DeleteEdge:
-			addTouched(u.From)
-			addTouched(u.To)
+			a.Touch(fixpoint.Var(u.From), true)
+			a.Touch(fixpoint.Var(u.To), true)
 		}
 	}
-	return len(i.eng.IncrementalRunDelta(touched, seeds))
+	return len(i.eng.IncrementalRunDelta(a.Touched(), a.Seeds()))
 }
 
 // IncNaive is the deducible incremental algorithm of Example 2: it marks

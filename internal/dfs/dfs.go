@@ -103,33 +103,53 @@ func Run(g *graph.Graph) *Tree {
 	for i := range t.Parent {
 		t.Parent[i] = -1
 	}
-	replayFrom(g, t, 1)
+	nb := func(v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+		return appendSortedNbrs(g, v, buf)
+	}
+	replayFrom(g, nb, t, 1)
 	return t
 }
 
-// frame is one open node on the DFS stack with its canonical neighbor
-// enumeration position.
+// frame is one open node on the DFS stack. Its canonical neighbor
+// enumeration lives in the replay arena: the window arena[lo:hi], with i
+// the cursor. Indices are absolute so the arena may be reallocated while
+// frames are open.
 type frame struct {
-	v    graph.NodeID
-	nbrs []graph.NodeID
-	i    int
+	v         graph.NodeID
+	lo, i, hi int32
 }
 
-func sortedNbrs(g *graph.Graph, v graph.NodeID) []graph.NodeID {
-	out := g.Out(v)
-	ns := make([]graph.NodeID, len(out))
-	for i, e := range out {
-		ns[i] = e.To
+// nbrFunc appends v's neighbor ids to buf in ascending order and returns
+// the extended slice — the canonical enumeration order of §5.2. The two
+// implementations are appendSortedNbrs (legacy adjacency) and
+// graph.Flat.AppendOutSorted (CSR base + overlay tail).
+type nbrFunc func(v graph.NodeID, buf []graph.NodeID) []graph.NodeID
+
+// appendSortedNbrs is the nbrFunc over the graph's adjacency lists. The
+// appended region is insertion-sorted for short rows and sort-sorted for
+// hubs, so a power-law row never degrades quadratically.
+func appendSortedNbrs(g *graph.Graph, v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+	base := len(buf)
+	for _, e := range g.Out(v) {
+		buf = append(buf, e.To)
 	}
-	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
-	return ns
+	if region := buf[base:]; len(region) > 32 {
+		sort.Slice(region, func(i, j int) bool { return region[i] < region[j] })
+		return buf
+	}
+	for i := base + 1; i < len(buf); i++ {
+		for j := i; j > base && buf[j] < buf[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	return buf
 }
 
 // replayFrom discards every event at time >= tstar and re-runs the
-// traversal from the stack state at tstar. replayFrom(g, t, 1) is a full
-// batch run. It returns the number of nodes whose intervals were
-// (re)computed, the affected-area measure.
-func replayFrom(g *graph.Graph, t *Tree, tstar int32) int {
+// traversal from the stack state at tstar, reading neighbors through nb.
+// replayFrom(g, nb, t, 1) is a full batch run. It returns the number of
+// nodes whose intervals were (re)computed, the affected-area measure.
+func replayFrom(g *graph.Graph, nb nbrFunc, t *Tree, tstar int32) int {
 	n := g.NumNodes()
 	// Grow state for vertex insertions.
 	for len(t.First) < n {
@@ -154,22 +174,30 @@ func replayFrom(g *graph.Graph, t *Tree, tstar int32) int {
 	sort.Slice(open, func(i, j int) bool { return t.First[open[i]] < t.First[open[j]] })
 
 	clock := tstar - 1
+	// One arena holds every open frame's neighbor window; frames pop in
+	// LIFO order, so truncating to f.lo on pop reclaims the window.
 	var stack []frame
+	arena := make([]graph.NodeID, 0, 64)
+	push := func(v graph.NodeID) {
+		lo := int32(len(arena))
+		arena = nb(v, arena)
+		stack = append(stack, frame{v: v, lo: lo, i: lo, hi: int32(len(arena))})
+	}
 	for _, w := range open {
-		stack = append(stack, frame{v: w, nbrs: sortedNbrs(g, w)})
+		push(w)
 	}
 	step := func() {
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			descended := false
-			for f.i < len(f.nbrs) {
-				w := f.nbrs[f.i]
+			for f.i < f.hi {
+				w := arena[f.i]
 				f.i++
 				if t.First[w] == 0 {
 					clock++
 					t.First[w] = clock
 					t.Parent[w] = f.v
-					stack = append(stack, frame{v: w, nbrs: sortedNbrs(g, w)})
+					push(w)
 					descended = true
 					break
 				}
@@ -177,6 +205,7 @@ func replayFrom(g *graph.Graph, t *Tree, tstar int32) int {
 			if !descended {
 				clock++
 				t.Last[f.v] = clock
+				arena = arena[:f.lo]
 				stack = stack[:len(stack)-1]
 			}
 		}
@@ -188,7 +217,7 @@ func replayFrom(g *graph.Graph, t *Tree, tstar int32) int {
 			clock++
 			t.First[s] = clock
 			t.Parent[s] = -1
-			stack = append(stack, frame{v: graph.NodeID(s), nbrs: sortedNbrs(g, graph.NodeID(s))})
+			push(graph.NodeID(s))
 			step()
 		}
 	}
@@ -206,13 +235,51 @@ func replayFrom(g *graph.Graph, t *Tree, tstar int32) int {
 // publishes immutable snapshots to readers.
 type Inc struct {
 	g       *graph.Graph
+	flat    *graph.Flat
+	nb      nbrFunc
 	tree    *Tree
 	pending graph.Batch
 }
 
+// incOpts collects construction options.
+type incOpts struct{ noFlat bool }
+
+// Option configures NewInc.
+type Option func(*incOpts)
+
+// WithoutFlat disables the flat CSR/overlay adjacency view, forcing the
+// legacy per-row sort path. Used by differential tests; production
+// callers should keep the default.
+func WithoutFlat() Option { return func(o *incOpts) { o.noFlat = true } }
+
 // NewInc runs the batch DFS and returns the incremental algorithm.
-func NewInc(g *graph.Graph) *Inc {
-	return &Inc{g: g, tree: Run(g)}
+func NewInc(g *graph.Graph, opts ...Option) *Inc {
+	var o incOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	i := &Inc{g: g, tree: Run(g)}
+	if !o.noFlat {
+		i.flat = graph.NewFlat(g)
+		i.nb = i.flat.AppendOutSorted
+	} else {
+		i.nb = func(v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+			return appendSortedNbrs(g, v, buf)
+		}
+	}
+	return i
+}
+
+// Flat returns the maintained flat adjacency view (nil under
+// WithoutFlat).
+func (i *Inc) Flat() *graph.Flat { return i.flat }
+
+// SetCompactThreshold forwards the overlay-compaction threshold to the
+// flat view (no-op under WithoutFlat). See graph.Flat.SetCompactThreshold.
+func (i *Inc) SetCompactThreshold(t float64) {
+	if i.flat != nil {
+		i.flat.SetCompactThreshold(t)
+	}
 }
 
 // Graph returns the maintained graph.
@@ -251,7 +318,12 @@ func (i *Inc) Apply(b graph.Batch) int {
 // benchmarks time Repair separately from the graph mutation every method
 // needs.
 func (i *Inc) Stage(b graph.Batch) {
-	i.pending = append(i.pending, i.g.Apply(b.Net(i.g.Directed()))...)
+	applied := i.g.Apply(b.Net(i.g.Directed()))
+	i.pending = append(i.pending, applied...)
+	if i.flat != nil {
+		i.flat.Stage(i.g, applied)
+		i.flat.MaybeCompact(i.g)
+	}
 }
 
 // Repair replays the traversal suffix for the staged updates.
@@ -305,7 +377,7 @@ func (i *Inc) Repair() int {
 			}
 		}
 	}
-	return replayFrom(i.g, i.tree, tstar)
+	return replayFrom(i.g, i.nb, i.tree, tstar)
 }
 
 // IncUnit is IncDFS_n: the unit-update variant.

@@ -95,7 +95,10 @@ func (d *DynDFS) replayChecked(up graph.Update) int {
 	if !d.g.Directed() {
 		consider(up.To)
 	}
-	affected := replayFrom(d.g, d.tree, tstar)
+	nb := func(v graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+		return appendSortedNbrs(d.g, v, buf)
+	}
+	affected := replayFrom(d.g, nb, d.tree, tstar)
 	if !d.valid() {
 		d.tree = Run(d.g)
 		return d.g.NumNodes()

@@ -1,0 +1,92 @@
+package fixpoint
+
+// arena.go: epoch-marked dense scratch sets for the repair hot path. The
+// class adapters used to allocate map[Var]bool per Apply to deduplicate
+// touched variables and scope seeds; on large batches those maps dominated
+// the constant factor of repair. A VarSet is the flat replacement: one
+// int64 mark array indexed by variable id plus an epoch counter, so Reset
+// is O(1) and membership is a single array compare — no hashing, no
+// allocation after the array reaches steady-state size.
+
+// VarSet is a reusable dense set of variables. Begin starts a new
+// generation in O(1) by bumping the epoch; Add inserts with one array
+// write. The zero value is ready to use.
+type VarSet struct {
+	mark  []int64
+	epoch int64
+}
+
+// Begin clears the set and grows its capacity to n variables.
+func (s *VarSet) Begin(n int) {
+	if len(s.mark) < n {
+		s.mark = append(s.mark, make([]int64, n-len(s.mark))...)
+	}
+	s.epoch++
+}
+
+// Add inserts x and reports whether it was newly added.
+func (s *VarSet) Add(x Var) bool {
+	if s.mark[x] == s.epoch {
+		return false
+	}
+	s.mark[x] = s.epoch
+	return true
+}
+
+// Has reports whether x is in the current generation.
+func (s *VarSet) Has(x Var) bool {
+	return int(x) < len(s.mark) && s.mark[x] == s.epoch
+}
+
+// ScopeArena accumulates the deduplicated touched set and push seeds for
+// one incremental apply, replacing the per-apply map[Var]bool pairs in
+// the class adapters. The backing arrays are reused across applies: after
+// warm-up, building a scope allocates nothing.
+type ScopeArena struct {
+	touchedSet VarSet
+	seedSet    VarSet
+	pos        []int32 // index of x in touched, valid when touchedSet.Has(x)
+	touched    []Touched
+	seeds      []Var
+}
+
+// Begin starts a new apply with capacity for n variables, clearing both
+// accumulators in O(1).
+func (a *ScopeArena) Begin(n int) {
+	a.touchedSet.Begin(n)
+	a.seedSet.Begin(n)
+	if len(a.pos) < n {
+		a.pos = append(a.pos, make([]int32, n-len(a.pos))...)
+	}
+	a.touched = a.touched[:0]
+	a.seeds = a.seeds[:0]
+}
+
+// Touch records x as touched. MaybeInfeasible marks variables whose
+// current value may have become infeasible (deletion side); it is sticky
+// across duplicate touches of the same variable.
+func (a *ScopeArena) Touch(x Var, maybeInfeasible bool) {
+	if a.touchedSet.Add(x) {
+		a.pos[x] = int32(len(a.touched))
+		a.touched = append(a.touched, Touched{X: x, MaybeInfeasible: maybeInfeasible})
+		return
+	}
+	if maybeInfeasible {
+		a.touched[a.pos[x]].MaybeInfeasible = true
+	}
+}
+
+// Seed records x as a push seed (insertion side), deduplicated.
+func (a *ScopeArena) Seed(x Var) {
+	if a.seedSet.Add(x) {
+		a.seeds = append(a.seeds, x)
+	}
+}
+
+// Touched returns the deduplicated touched set in first-touch order. The
+// slice is owned by the arena and valid until the next Begin.
+func (a *ScopeArena) Touched() []Touched { return a.touched }
+
+// Seeds returns the deduplicated push seeds in first-seed order. The
+// slice is owned by the arena and valid until the next Begin.
+func (a *ScopeArena) Seeds() []Var { return a.seeds }

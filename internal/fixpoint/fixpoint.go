@@ -185,13 +185,31 @@ type Relaxer[V any] interface {
 	RelaxOut(x Var, xv V, emit func(z Var, candidate V))
 }
 
+// UniformRelaxer is an optional refinement of Relaxer for instances whose
+// relaxation emits the same candidate — x's own value — to every dependent
+// (label propagation: CC's min-label flood). The sequential drain then
+// skips the per-edge emit closure entirely: it fetches the dependent row
+// into a reused arena buffer and installs the one candidate along it,
+// keeping the inner loop free of interface calls. DependentRow must visit
+// exactly the variables RelaxOut would emit to, in the same order, so the
+// two paths stay counter-for-counter identical.
+type UniformRelaxer[V any] interface {
+	Relaxer[V]
+	// DependentRow appends x's dependents to buf and returns the extended
+	// slice. The result may alias internal storage and is only valid until
+	// the next engine step.
+	DependentRow(x Var, buf []Var) []Var
+}
+
 // Engine couples an Instance with its State and implements both the batch
 // step function and the deduced incremental algorithm. Worklists are
 // allocated once and reused across runs, so incremental rounds cost
 // O(|AFF|), not O(|Ψ|).
 type Engine[V any] struct {
 	inst    Instance[V]
-	relaxer Relaxer[V] // nil when the instance is not meet-form
+	relaxer Relaxer[V]        // nil when the instance is not meet-form
+	uniform UniformRelaxer[V] // nil unless the relaxer is label-propagating
+	rowBuf  []Var             // uniform path's dependent-row arena
 	policy  Policy
 	st      *State[V]
 	getFn   func(Var) V
@@ -255,6 +273,7 @@ func New[V any](inst Instance[V], policy Policy, opts ...Option) *Engine[V] {
 	}
 	e := &Engine[V]{inst: inst, policy: policy, st: st, parThreshold: cfg.parThreshold}
 	e.relaxer, _ = inst.(Relaxer[V])
+	e.uniform, _ = inst.(UniformRelaxer[V])
 	e.deg, _ = inst.(OutDegreer)
 	e.getFn = func(x Var) V {
 		e.st.Stats.Reads++
@@ -425,6 +444,29 @@ func (e *Engine[V]) Run() {
 // ledger (the scope size at round start bounds the inner pops) without
 // changing the pop order or allocating.
 func (e *Engine[V]) drain() {
+	if e.uniform != nil {
+		// Row path: one candidate per popped variable, installed along a
+		// flat dependent row. Same pops, same installs, same order as the
+		// RelaxOut path below — only the per-edge emit closure is gone.
+		for e.wl.Len() > 0 {
+			e.st.Stats.Ledger.Rounds++
+			for n := e.wl.Len(); n > 0; n-- {
+				x, ok := e.wl.Pop()
+				if !ok {
+					break
+				}
+				e.st.Stats.Pops++
+				xv := e.st.Val[x]
+				e.rowBuf = e.uniform.DependentRow(x, e.rowBuf[:0])
+				for _, z := range e.rowBuf {
+					if e.install(z, xv) {
+						e.wl.AddOrAdjust(z)
+					}
+				}
+			}
+		}
+		return
+	}
 	if e.relaxer != nil {
 		for e.wl.Len() > 0 {
 			e.st.Stats.Ledger.Rounds++

@@ -1,0 +1,25 @@
+package fixpoint
+
+// flatmin.go: branch-free meet for the int64 min-semilattices that back
+// the shortest-path and label-propagation instances. The relaxer inner
+// loop runs this per edge; a data-dependent branch there mispredicts on
+// the irregular frontiers incremental repair produces, so the meet is
+// computed with a sign-mask select instead.
+
+// MinInt64 returns the smaller of a and b without a conditional branch,
+// using the sign of the difference as a select mask (dgryski's fastMin).
+//
+// Precondition: b-a must not overflow int64. All callers in this module
+// keep values in [0, graph.Infinity] with Infinity = MaxInt64/4, so any
+// sum of a value and an edge weight stays far from the overflow boundary.
+func MinInt64(a, b int64) int64 {
+	d := b - a
+	return a + (d & (d >> 63))
+}
+
+// MaxInt64 returns the larger of a and b without a conditional branch,
+// under the same no-overflow precondition as MinInt64.
+func MaxInt64(a, b int64) int64 {
+	d := b - a
+	return b - (d & (d >> 63))
+}

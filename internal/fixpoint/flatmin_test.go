@@ -1,0 +1,74 @@
+package fixpoint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// naive reference implementations for the equivalence check.
+func slowMin(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func slowMax(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestMinInt64Quick is the testing/quick equivalence test from the fastMin
+// idiom: mask the inputs into the documented no-overflow domain and check
+// the branch-free select against the naive conditional.
+func TestMinInt64Quick(t *testing.T) {
+	const mask = int64(1<<62 - 1) // keep |b-a| < 2^63
+	minEq := func(a, b int64) bool {
+		a, b = a&mask, b&mask
+		return MinInt64(a, b) == slowMin(a, b)
+	}
+	maxEq := func(a, b int64) bool {
+		a, b = a&mask, b&mask
+		return MaxInt64(a, b) == slowMax(a, b)
+	}
+	cfg := &quick.Config{MaxCount: 10000}
+	if err := quick.Check(minEq, cfg); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(maxEq, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinInt64Negatives pins the negative-operand cases the mask above
+// under-samples: differences of small negatives never overflow, so the
+// select must still agree with the conditional.
+func TestMinInt64Negatives(t *testing.T) {
+	cases := [][2]int64{{-5, 3}, {3, -5}, {-5, -9}, {-9, -5}, {0, 0}, {-1, -1}}
+	for _, c := range cases {
+		if got, want := MinInt64(c[0], c[1]), slowMin(c[0], c[1]); got != want {
+			t.Errorf("MinInt64(%d, %d) = %d, want %d", c[0], c[1], got, want)
+		}
+		if got, want := MaxInt64(c[0], c[1]), slowMax(c[0], c[1]); got != want {
+			t.Errorf("MaxInt64(%d, %d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+var sinkInt64 int64
+
+func BenchmarkMinInt64(b *testing.B) {
+	x, y := int64(12345), int64(6789)
+	for i := 0; i < b.N; i++ {
+		sinkInt64 = MinInt64(x, sinkInt64) + MinInt64(y, int64(i))
+	}
+}
+
+func BenchmarkMinBranchy(b *testing.B) {
+	x, y := int64(12345), int64(6789)
+	for i := 0; i < b.N; i++ {
+		sinkInt64 = slowMin(x, sinkInt64) + slowMin(y, int64(i))
+	}
+}

@@ -1,0 +1,61 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"incgraph/internal/graph"
+)
+
+// ExampleFlat shows the life of a flat adjacency view: snapshot, staged
+// overlay edits, and threshold-driven compaction back into the CSR base.
+func ExampleFlat() {
+	g := graph.New(4, false)
+	g.InsertEdge(0, 1, 5)
+	g.InsertEdge(0, 2, 7)
+
+	f := graph.NewFlat(g) // CSR base of the current adjacency
+	f.SetCompactThreshold(1e9)
+
+	// Mutate the graph through a batch and stage exactly the applied
+	// updates into the overlay.
+	b := graph.Batch{
+		{Kind: graph.InsertEdge, From: 0, To: 3, W: 9},
+		{Kind: graph.DeleteEdge, From: 0, To: 1},
+	}
+	f.Stage(g, g.Apply(b))
+
+	// Reads merge the base row (0→1 now tombstoned) with the overlay tail.
+	f.EachOut(0, func(v graph.NodeID, w int64) {
+		fmt.Printf("0 -> %d (w=%d)\n", v, w)
+	})
+	fmt.Println("overlay ops:", f.OverlayOps())
+
+	// Compaction rebuilds the base and clears the overlay.
+	f.Compact(g)
+	fmt.Println("after compact:", f.OverlayOps(), "ops,", f.Compactions(), "compaction")
+
+	// Output:
+	// 0 -> 2 (w=7)
+	// 0 -> 3 (w=9)
+	// overlay ops: 4
+	// after compact: 0 ops, 1 compaction
+}
+
+// ExampleFlat_appendOutSorted shows the arena-friendly sorted neighbor
+// read the biconnectivity DFS uses: base row and overlay tail merged in
+// ascending order, appended to a caller-owned buffer.
+func ExampleFlat_appendOutSorted() {
+	g := graph.New(5, false)
+	g.InsertEdge(2, 4, 1)
+	g.InsertEdge(2, 0, 1)
+	f := graph.NewFlat(g)
+	f.SetCompactThreshold(1e9)
+	b := graph.Batch{{Kind: graph.InsertEdge, From: 2, To: 3, W: 1}}
+	f.Stage(g, g.Apply(b))
+
+	buf := make([]graph.NodeID, 0, 8)
+	buf = f.AppendOutSorted(2, buf)
+	fmt.Println(buf)
+	// Output:
+	// [0 3 4]
+}

@@ -130,12 +130,66 @@ type Inc struct {
 	mark    []int64
 	epoch   int64
 	pending graph.Batch
-	preTri  map[graph.NodeID]bool
+	// The PE accumulators are epoch-marked dense sets (mark array + list),
+	// replacing the per-apply map[NodeID]bool allocations: tri collects the
+	// λ recomputation set across Stage (pre-update hoods) and Repair
+	// (post-update hoods); deg collects the endpoints whose d_v changed.
+	triMark  []int64
+	triEpoch int64
+	triList  []graph.NodeID
+	degMark  []int64
+	degEpoch int64
+	degList  []graph.NodeID
 }
 
 // NewInc runs the batch algorithm and returns the incremental one.
 func NewInc(g *graph.Graph) *Inc {
-	return &Inc{g: g, r: Run(g), mark: make([]int64, g.NumNodes())}
+	n := g.NumNodes()
+	return &Inc{
+		g: g, r: Run(g),
+		mark:    make([]int64, n),
+		triMark: make([]int64, n), triEpoch: 1,
+		degMark: make([]int64, n), degEpoch: 1,
+	}
+}
+
+// growSets extends the PE mark arrays to the current node count.
+func (i *Inc) growSets() {
+	n := i.g.NumNodes()
+	for len(i.triMark) < n {
+		i.triMark = append(i.triMark, 0)
+	}
+	for len(i.degMark) < n {
+		i.degMark = append(i.degMark, 0)
+	}
+}
+
+func (i *Inc) triAdd(v graph.NodeID) {
+	if i.triMark[v] != i.triEpoch {
+		i.triMark[v] = i.triEpoch
+		i.triList = append(i.triList, v)
+	}
+}
+
+func (i *Inc) degAdd(v graph.NodeID) {
+	if i.degMark[v] != i.degEpoch {
+		i.degMark[v] = i.degEpoch
+		i.degList = append(i.degList, v)
+	}
+}
+
+// triReset discards the accumulated λ set and opens a new generation.
+func (i *Inc) triReset() {
+	i.triEpoch++
+	i.triList = i.triList[:0]
+}
+
+// hood adds v and its current one-hop neighborhood to the λ set.
+func (i *Inc) hood(v graph.NodeID) {
+	i.triAdd(v)
+	for _, e := range i.g.Out(v) {
+		i.triAdd(e.To)
+	}
 }
 
 // Graph returns the maintained graph.
@@ -168,19 +222,11 @@ func (i *Inc) Apply(b graph.Batch) int {
 // neighborhoods: a deleted edge's endpoints lose triangle partners that
 // are only visible pre-deletion.
 func (i *Inc) Stage(b graph.Batch) {
-	if i.preTri == nil {
-		i.preTri = map[graph.NodeID]bool{}
-	}
-	hood := func(v graph.NodeID) {
-		i.preTri[v] = true
-		for _, e := range i.g.Out(v) {
-			i.preTri[e.To] = true
-		}
-	}
 	net := b.Net(false)
+	i.growSets()
 	for _, u := range net {
-		hood(u.From)
-		hood(u.To)
+		i.hood(u.From)
+		i.hood(u.To)
 	}
 	i.pending = append(i.pending, i.g.Apply(net)...)
 }
@@ -188,38 +234,33 @@ func (i *Inc) Stage(b graph.Batch) {
 // Repair recomputes the PE variables for the staged updates.
 func (i *Inc) Repair() int {
 	applied := i.pending
-	peTri := i.preTri
-	i.pending, i.preTri = nil, nil
-	if peTri == nil {
-		peTri = map[graph.NodeID]bool{}
-	}
+	i.pending = i.pending[:0]
 	if len(applied) == 0 && i.g.NumNodes() == len(i.r.Deg) {
+		i.triReset() // pre-update hoods of no-op batches are moot
 		return 0
 	}
 	i.r.grow(i.g.NumNodes())
 	for len(i.mark) < i.g.NumNodes() {
 		i.mark = append(i.mark, 0)
 	}
-	peDeg := map[graph.NodeID]bool{}
-	hood := func(v graph.NodeID) {
-		peTri[v] = true
-		for _, e := range i.g.Out(v) {
-			peTri[e.To] = true
-		}
-	}
+	i.growSets()
+	i.degEpoch++
+	i.degList = i.degList[:0]
 	for _, u := range applied {
-		peDeg[u.From] = true
-		peDeg[u.To] = true
-		hood(u.From)
-		hood(u.To)
+		i.degAdd(u.From)
+		i.degAdd(u.To)
+		i.hood(u.From)
+		i.hood(u.To)
 	}
-	for v := range peDeg {
+	for _, v := range i.degList {
 		i.r.Deg[v] = int32(i.g.Degree(v))
 	}
-	for v := range peTri {
+	for _, v := range i.triList {
 		i.r.Tri[v] = i.countTriangles(v)
 	}
-	return len(peTri)
+	pe := len(i.triList)
+	i.triReset()
+	return pe
 }
 
 // countTriangles recomputes λ_v with a stamped neighbor set: each triangle

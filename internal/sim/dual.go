@@ -86,6 +86,10 @@ type IncDual struct {
 	g, q *graph.Graph
 	inst *DualInstance
 	eng  *fixpoint.Engine[bool]
+	// seen/touched: reusable touched-set arena (fixpoint.VarSet) replacing
+	// the per-Apply map[Var]bool.
+	seen    fixpoint.VarSet
+	touched []fixpoint.Var
 }
 
 // NewIncDual computes the initial relation and returns the maintainer.
@@ -109,14 +113,13 @@ func (i *IncDual) Apply(b graph.Batch) int {
 	applied := i.g.Apply(b.Net(i.g.Directed()))
 	i.eng.Grow()
 	nq := i.q.NumNodes()
-	seen := make(map[fixpoint.Var]bool, 2*len(applied)*nq)
-	var touched []fixpoint.Var
+	i.seen.Begin(i.inst.NumVars())
+	i.touched = i.touched[:0]
 	touch := func(v graph.NodeID) {
 		for u := 0; u < nq; u++ {
 			x := i.inst.PairVar(v, graph.NodeID(u))
-			if !seen[x] {
-				seen[x] = true
-				touched = append(touched, x)
+			if i.seen.Add(x) {
+				i.touched = append(i.touched, x)
 			}
 		}
 	}
@@ -126,5 +129,5 @@ func (i *IncDual) Apply(b graph.Batch) int {
 		touch(up.From)
 		touch(up.To)
 	}
-	return len(i.eng.IncrementalRun(touched))
+	return len(i.eng.IncrementalRun(i.touched))
 }

@@ -32,10 +32,20 @@ type Inc struct {
 	chMark  []int64 // epoch marks: written this repair (work ledger)
 	chOld   []bool  // repair-start match bits of written pairs (work ledger)
 	chList  []int32 // written pairs, swept at end of Repair
-	epoch   int64
-	stats   fixpoint.Stats
-	tracer  fixpoint.Tracer
-	pending graph.Batch
+	// Repair-scope arena, reused across Repairs (the counter-cascade
+	// analogue of fixpoint.ScopeArena): vmark/vpos dedupe touched data
+	// nodes by epoch, touched/infeasible/h0buf/seedBuf accumulate the
+	// per-Repair scope without allocating at steady state.
+	vmark      []int64
+	vpos       []int32
+	touched    []int32
+	infeasible []bool
+	h0buf      []int32
+	seedBuf    [][2]int32
+	epoch      int64
+	stats      fixpoint.Stats
+	tracer     fixpoint.Tracer
+	pending    graph.Batch
 }
 
 // NewInc computes the initial maximum simulation with timestamp recording
@@ -165,6 +175,10 @@ func (i *Inc) Stage(b graph.Batch) {
 		copy(cl, i.chList)
 		i.chList = cl
 	}
+	for len(i.vmark) < i.g.NumNodes() {
+		i.vmark = append(i.vmark, 0)
+		i.vpos = append(i.vpos, 0)
+	}
 	i.hq.Grow(len(i.r))
 }
 
@@ -172,24 +186,25 @@ func (i *Inc) Stage(b graph.Batch) {
 func (i *Inc) Repair() int {
 	applied := i.pending
 	i.pending = nil
-	var touched []int32
-	var infeasible []bool
-	vpos := make(map[graph.NodeID]int)
+	touched := i.touched[:0]
+	infeasible := i.infeasible[:0]
 	i.epoch++
 	i.chList = i.chList[:0]
 	// Insertions can raise pairs (more support, the infeasible direction
 	// for Sim, where false ≺ true); deletions only retract and are left
 	// to the resumed cascade.
 	touch := func(v graph.NodeID, mayRaise bool) {
-		if p, ok := vpos[v]; ok {
+		if i.vmark[v] == i.epoch {
 			if mayRaise {
+				p := int(i.vpos[v])
 				for u := 0; u < i.nq; u++ {
 					infeasible[p+u] = true
 				}
 			}
 			return
 		}
-		vpos[v] = len(touched)
+		i.vmark[v] = i.epoch
+		i.vpos[v] = int32(len(touched))
 		for u := 0; u < i.nq; u++ {
 			x := int32(int(v)*i.nq + u)
 			i.inH0[x] = i.epoch
@@ -222,6 +237,7 @@ func (i *Inc) Repair() int {
 			touch(up.To, mayRaise)
 		}
 	}
+	i.touched, i.infeasible = touched, infeasible
 	if len(touched) == 0 {
 		return 0
 	}
@@ -257,7 +273,8 @@ func (i *Inc) Repair() int {
 // their label-match bottoms — is potentially infeasible and is raised back
 // to true, propagating to the dependent pairs it may anchor.
 func (i *Inc) scopeFunction(touched []int32, infeasible []bool) []int32 {
-	h0 := append([]int32(nil), touched...)
+	h0 := append(i.h0buf[:0], touched...)
+	defer func() { i.h0buf = h0[:0] }()
 	for j, x := range touched {
 		if infeasible[j] && !i.r[x] {
 			i.hq.AddOrAdjust(x)
@@ -341,7 +358,8 @@ func (i *Inc) feasibleCond(v, u graph.NodeID, tsx int64) bool {
 // scope pair with an exhausted requirement counter seeds the usual
 // violation cascade.
 func (i *Inc) resume(h0 []int32) {
-	var seeds [][2]int32
+	seeds := i.seedBuf[:0]
+	defer func() { i.seedBuf = seeds[:0] }()
 	for _, x := range h0 {
 		v := int32(int(x) / i.nq)
 		u := graph.NodeID(int(x) % i.nq)

@@ -253,6 +253,10 @@ type IncEngine struct {
 	g, q *graph.Graph
 	inst *Instance
 	eng  *fixpoint.Engine[bool]
+	// seen/touched are the reusable touched-set arena: one epoch-marked
+	// dense set instead of a per-Apply map[Var]bool (see fixpoint.VarSet).
+	seen    fixpoint.VarSet
+	touched []fixpoint.Var
 }
 
 // NewIncEngine computes the initial maximum simulation and returns the
@@ -296,26 +300,25 @@ func (i *IncEngine) Close() { i.eng.Close() }
 func (i *IncEngine) Apply(b graph.Batch) int {
 	applied := i.g.Apply(b.Net(i.g.Directed()))
 	i.eng.Grow()
-	seen := make(map[fixpoint.Var]bool, len(applied)*i.inst.nq)
-	var touched []fixpoint.Var
-	for _, up := range applied {
-		// The input sets of all pairs on the edge's source evolved; for
-		// undirected data graphs the target's pairs evolve too.
-		ends := []graph.NodeID{up.From}
-		if !i.g.Directed() {
-			ends = append(ends, up.To)
-		}
-		for _, v := range ends {
-			for u := 0; u < i.inst.nq; u++ {
-				x := i.inst.PairVar(v, graph.NodeID(u))
-				if !seen[x] {
-					seen[x] = true
-					touched = append(touched, x)
-				}
+	i.seen.Begin(i.inst.NumVars())
+	i.touched = i.touched[:0]
+	touch := func(v graph.NodeID) {
+		for u := 0; u < i.inst.nq; u++ {
+			x := i.inst.PairVar(v, graph.NodeID(u))
+			if i.seen.Add(x) {
+				i.touched = append(i.touched, x)
 			}
 		}
 	}
-	return len(i.eng.IncrementalRun(touched))
+	for _, up := range applied {
+		// The input sets of all pairs on the edge's source evolved; for
+		// undirected data graphs the target's pairs evolve too.
+		touch(up.From)
+		if !i.g.Directed() {
+			touch(up.To)
+		}
+	}
+	return len(i.eng.IncrementalRun(i.touched))
 }
 
 // IncUnit is IncSim_n: the same machinery driven one unit update at a

@@ -74,6 +74,29 @@ func (i *Inc) SetWorkers(n int) {
 				if dv >= Infinity {
 					continue
 				}
+				if i.flat != nil {
+					// Flat spans: workers scan the frozen CSR base (plus the
+					// short overlay tail) with no pointer chasing. The flat
+					// view is immutable for the whole resume — Stage ran
+					// before Repair — so concurrent readers are safe.
+					ts, ws, dead, extra := i.flat.OutSpans(v)
+					for k, t := range ts {
+						if dead != nil && dead[k] {
+							continue
+						}
+						pw.scanned++
+						if alt := dv + ws[k]; alt < i.dist[t] {
+							pw.cands = append(pw.cands, ssspCand{t, alt})
+						}
+					}
+					for _, e := range extra {
+						pw.scanned++
+						if alt := dv + e.W; alt < i.dist[e.To] {
+							pw.cands = append(pw.cands, ssspCand{e.To, alt})
+						}
+					}
+					continue
+				}
 				for _, e := range i.g.Out(v) {
 					pw.scanned++
 					if alt := dv + e.W; alt < i.dist[e.To] {
@@ -127,6 +150,10 @@ func (i *Inc) drainParallel() {
 				v := graph.NodeID(x)
 				dv := i.dist[v]
 				if dv >= Infinity {
+					continue
+				}
+				if i.flat != nil {
+					i.relaxOutFlat(v, dv)
 					continue
 				}
 				for _, e := range i.g.Out(v) {
